@@ -1,0 +1,164 @@
+//! Theorem 2: the expected number of affected rows (and columns).
+//!
+//! A row is *affected* when it intersects at least one faulty block. The
+//! paper partitions `k` random faults into stages by "hits" on clean rows:
+//! the expected number of faults in stage `i` is `n / (n − i + 1)`
+//! (geometric), so the expected number of affected rows is the largest `x`
+//! with `Σ_{i=1..x} n/(n−i+1) ≤ k`. Because disabled nodes only ever
+//! appear in rows/columns that already contain faulty or disabled nodes,
+//! the count is identical under the faulty-block and MCC models — a fact
+//! the tests verify.
+
+use emr_fault::BlockMap;
+use emr_mesh::Coord;
+
+/// The analytical expectation of the number of affected rows in an `n × n`
+/// mesh with `k` random faults, with fractional interpolation inside the
+/// final stage (so the curve is smooth like the paper's Figure 7).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use emr_analysis::affected::expected_affected_rows;
+///
+/// // Paper §4: in a 200×200 mesh about 20% of rows are affected at
+/// // k = 50, 40% at k = 100 and 60% at k = 200.
+/// let pct = |k| expected_affected_rows(200, k) / 200.0;
+/// assert!((pct(50) - 0.20).abs() < 0.03);
+/// assert!((pct(100) - 0.40).abs() < 0.03);
+/// assert!((pct(200) - 0.60).abs() < 0.05);
+/// ```
+pub fn expected_affected_rows(n: u32, k: u32) -> f64 {
+    assert!(n > 0, "mesh dimension must be positive");
+    let n_f = f64::from(n);
+    let mut remaining = f64::from(k);
+    let mut rows = 0.0;
+    for i in 1..=n {
+        // Expected number of faults consumed by stage i.
+        let stage = n_f / (n_f - f64::from(i) + 1.0);
+        if remaining >= stage {
+            remaining -= stage;
+            rows += 1.0;
+        } else {
+            rows += remaining / stage;
+            return rows;
+        }
+    }
+    rows
+}
+
+/// The measured number of affected rows of a concrete block decomposition:
+/// rows containing at least one faulty or disabled node.
+pub fn affected_rows(blocks: &BlockMap) -> usize {
+    let mesh = blocks.mesh();
+    (0..mesh.height())
+        .filter(|&y| (0..mesh.width()).any(|x| blocks.is_blocked(Coord::new(x, y))))
+        .count()
+}
+
+/// The measured number of affected columns.
+pub fn affected_columns(blocks: &BlockMap) -> usize {
+    let mesh = blocks.mesh();
+    (0..mesh.width())
+        .filter(|&x| (0..mesh.height()).any(|y| blocks.is_blocked(Coord::new(x, y))))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emr_fault::{inject, FaultSet, MccMap, MccType};
+    use emr_mesh::Mesh;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_faults_zero_rows() {
+        assert_eq!(expected_affected_rows(200, 0), 0.0);
+        let blocks = BlockMap::build(&FaultSet::new(Mesh::square(10)));
+        assert_eq!(affected_rows(&blocks), 0);
+        assert_eq!(affected_columns(&blocks), 0);
+    }
+
+    #[test]
+    fn expectation_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for k in 0..400 {
+            let x = expected_affected_rows(100, k);
+            assert!(x >= prev, "not monotone at k={k}");
+            assert!(x <= 100.0);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn first_fault_always_hits() {
+        // Stage 1 consumes exactly one expected fault: E[x](k=1) = 1.
+        assert!((expected_affected_rows(50, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_k_is_nearly_linear() {
+        // With k ≪ n almost every fault lands in a clean row.
+        let x = expected_affected_rows(1000, 10);
+        assert!(x > 9.9 && x <= 10.0);
+    }
+
+    #[test]
+    fn analytical_matches_simulation() {
+        // The paper's Figure 7: analytical and simulated curves agree
+        // closely. Scaled-down n for test speed.
+        let n = 60;
+        let mesh = Mesh::square(n);
+        for k in [10usize, 30, 60] {
+            let analytical = expected_affected_rows(n as u32, k as u32);
+            let mut total_rows = 0usize;
+            let mut total_cols = 0usize;
+            let trials = 300;
+            for seed in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let faults = inject::uniform(mesh, k, &[], &mut rng);
+                let blocks = BlockMap::build(&faults);
+                total_rows += affected_rows(&blocks);
+                total_cols += affected_columns(&blocks);
+            }
+            let mean_rows = total_rows as f64 / trials as f64;
+            let mean_cols = total_cols as f64 / trials as f64;
+            assert!(
+                (mean_rows - analytical).abs() / analytical < 0.06,
+                "k={k}: simulated {mean_rows} vs analytical {analytical}"
+            );
+            assert!((mean_cols - analytical).abs() / analytical < 0.06);
+        }
+    }
+
+    #[test]
+    fn identical_under_both_fault_models() {
+        // Theorem 2's closing remark: disabled nodes generate no new hits,
+        // so affected counts agree between faults-only, blocks and MCCs.
+        let mesh = Mesh::square(40);
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let faults = inject::uniform(mesh, 35, &[], &mut rng);
+            let blocks = BlockMap::build(&faults);
+            // Rows containing raw faults.
+            let fault_rows = (0..mesh.height())
+                .filter(|&y| (0..mesh.width()).any(|x| faults.is_faulty(Coord::new(x, y))))
+                .count();
+            assert_eq!(affected_rows(&blocks), fault_rows, "seed {seed}");
+            for ty in MccType::ALL {
+                let mcc = MccMap::build(&faults, ty);
+                let mcc_rows = (0..mesh.height())
+                    .filter(|&y| {
+                        (0..mesh.width()).any(|x| mcc.is_blocked(Coord::new(x, y)))
+                    })
+                    .count();
+                assert_eq!(mcc_rows, fault_rows, "seed {seed} {ty:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Analytical models, statistics, and the experiment harness.
+//!
+//! * [`affected`] — Theorem 2's analytical model for the expected number
+//!   of affected rows/columns (rows intersecting a faulty block) and its
+//!   simulated counterpart (the paper's Figure 7),
+//! * [`stats`] — the small summary statistics the figures report,
+//! * [`sweep`] — the shared trial harness: sweeps the fault count,
+//!   generates scenarios exactly as §5 describes (source at the mesh
+//!   center, destination uniform in the first-quadrant submesh, endpoints
+//!   outside every faulty block), and accumulates per-series percentages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affected;
+pub mod stats;
+pub mod sweep;
+
+pub use sweep::{SeriesTable, SweepConfig};

@@ -1,0 +1,157 @@
+//! Summary statistics for experiment series.
+
+use serde::{Deserialize, Serialize};
+
+/// An online accumulator for a stream of samples: mean, variance, extrema.
+///
+/// # Examples
+///
+/// ```
+/// use emr_analysis::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.std_dev() - 1.2909944487).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample (Welford's algorithm — numerically stable).
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The sample standard deviation (n−1 denominator); 0 below two
+    /// samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count as f64 - 1.0)).sqrt()
+        }
+    }
+
+    /// The smallest sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// The largest sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The half-width of the 95% normal-approximation confidence interval
+    /// of the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.add(7.5);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 7.5);
+        assert_eq!(s.max(), 7.5);
+    }
+
+    #[test]
+    fn extrema_track() {
+        let mut s = Summary::new();
+        s.extend([3.0, -1.0, 9.0, 4.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut s = Summary::new();
+        s.extend(data.iter().copied());
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-9);
+        assert!(s.ci95() > 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The shared experiment harness for the paper's §5 simulation setup.
+//!
+//! Every figure uses the same protocol: an `n × n` mesh (the paper uses
+//! `n = 200`) with the source at the center; for each fault count `k`,
+//! many trials each generate `k` random faults (re-drawn if the source
+//! ends up inside a faulty block), build the [`Scenario`], pick a random
+//! destination in the first-quadrant submesh outside every faulty block,
+//! and record one sample per series. Points of the sweep run on separate
+//! threads; everything is deterministic in the configured seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use emr_core::Scenario;
+use emr_fault::inject;
+use emr_mesh::{Coord, Mesh};
+
+use crate::stats::Summary;
+
+/// Configuration of one figure sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Mesh side length (`200` in the paper).
+    pub mesh_size: i32,
+    /// Trials per fault-count point.
+    pub trials: u32,
+    /// The fault counts to sweep (the paper plots 0..=200).
+    pub fault_counts: Vec<usize>,
+    /// Master seed; every run with the same configuration reproduces the
+    /// same numbers exactly.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    /// The paper's setup: 200×200 mesh, fault counts 0..=200 in steps of
+    /// 10, 1000 trials per point.
+    fn default() -> Self {
+        SweepConfig {
+            mesh_size: 200,
+            trials: 1000,
+            fault_counts: (0..=200).step_by(10).collect(),
+            seed: 0x2002_1c05,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            mesh_size: 40,
+            trials: 40,
+            fault_counts: vec![0, 10, 20, 40],
+            seed: 7,
+        }
+    }
+
+    /// Overrides the trial count (used by the figure binaries' CLI).
+    pub fn with_trials(mut self, trials: u32) -> Self {
+        self.trials = trials;
+        self
+    }
+}
+
+/// One generated trial: the decomposed scenario plus the paper's
+/// source/destination pair.
+#[derive(Debug)]
+pub struct TrialInput<'a> {
+    /// The fault configuration decomposed under both models.
+    pub scenario: &'a Scenario,
+    /// The source (mesh center).
+    pub source: Coord,
+    /// A destination in the source's first-quadrant submesh, outside every
+    /// faulty block.
+    pub dest: Coord,
+}
+
+/// Runs a sweep: `measure` receives each trial plus a per-trial RNG and
+/// returns one sample per entry of `series` (typically 0/1 indicator
+/// values; the table reports means).
+///
+/// # Panics
+///
+/// Panics if `measure` returns the wrong number of samples.
+pub fn run<F>(cfg: &SweepConfig, series: &[&str], measure: F) -> SeriesTable
+where
+    F: Fn(&TrialInput<'_>, &mut StdRng) -> Vec<f64> + Sync,
+{
+    let mesh = Mesh::square(cfg.mesh_size);
+    let mut points: Vec<(usize, Vec<Summary>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .fault_counts
+            .iter()
+            .map(|&k| {
+                let measure = &measure;
+                scope.spawn(move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
+                    let mut sums = vec![Summary::new(); series.len()];
+                    for _ in 0..cfg.trials {
+                        let (scenario, source, dest) = generate_trial(mesh, k, &mut rng);
+                        let input = TrialInput {
+                            scenario: &scenario,
+                            source,
+                            dest,
+                        };
+                        let samples = measure(&input, &mut rng);
+                        assert_eq!(
+                            samples.len(),
+                            series.len(),
+                            "measure returned {} samples for {} series",
+                            samples.len(),
+                            series.len()
+                        );
+                        for (sum, v) in sums.iter_mut().zip(samples) {
+                            sum.add(v);
+                        }
+                    }
+                    (k, sums)
+                })
+            })
+            .collect();
+        for h in handles {
+            points.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+    points.sort_by_key(|&(k, _)| k);
+    SeriesTable {
+        series: series.iter().map(|s| s.to_string()).collect(),
+        points,
+    }
+}
+
+/// Generates one trial exactly as §5 prescribes.
+fn generate_trial(mesh: Mesh, k: usize, rng: &mut StdRng) -> (Scenario, Coord, Coord) {
+    let source = mesh.center();
+    let scenario = loop {
+        let faults = inject::uniform(mesh, k, &[source], rng);
+        let sc = Scenario::build(faults);
+        // The paper assumes the source is outside every faulty block.
+        if !sc.blocks().is_blocked(source) {
+            break sc;
+        }
+    };
+    // Destination uniform in the first-quadrant submesh, outside blocks.
+    let dest = loop {
+        let d = Coord::new(
+            rng.gen_range(source.x..mesh.width()),
+            rng.gen_range(source.y..mesh.height()),
+        );
+        if d != source && !scenario.blocks().is_blocked(d) {
+            break d;
+        }
+    };
+    (scenario, source, dest)
+}
+
+/// The result of a sweep: one row per fault count, one column per series.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    series: Vec<String>,
+    points: Vec<(usize, Vec<Summary>)>,
+}
+
+impl SeriesTable {
+    /// Assembles a table from raw parts (used by custom sweeps such as the
+    /// ablation experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the series count.
+    pub fn from_parts(series: Vec<String>, points: Vec<(usize, Vec<Summary>)>) -> SeriesTable {
+        for (k, sums) in &points {
+            assert_eq!(
+                sums.len(),
+                series.len(),
+                "row k={k} has {} entries for {} series",
+                sums.len(),
+                series.len()
+            );
+        }
+        SeriesTable { series, points }
+    }
+
+    /// Joins two tables over the same fault counts into one wide table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-count axes differ.
+    pub fn joined(&self, other: &SeriesTable) -> SeriesTable {
+        assert_eq!(
+            self.points.iter().map(|p| p.0).collect::<Vec<_>>(),
+            other.points.iter().map(|p| p.0).collect::<Vec<_>>(),
+            "fault-count axes differ"
+        );
+        let series = self
+            .series
+            .iter()
+            .chain(&other.series)
+            .cloned()
+            .collect();
+        let points = self
+            .points
+            .iter()
+            .zip(&other.points)
+            .map(|((k, a), (_, b))| (*k, a.iter().chain(b).copied().collect()))
+            .collect();
+        SeriesTable { series, points }
+    }
+
+    /// The series names (column headers).
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// The mean of `series` at fault count `k`, if present.
+    pub fn mean(&self, series: &str, k: usize) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        let (_, sums) = self.points.iter().find(|&&(pk, _)| pk == k)?;
+        Some(sums[col].mean())
+    }
+
+    /// Iterates `(k, means-per-series)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, Vec<f64>)> + '_ {
+        self.points
+            .iter()
+            .map(|(k, sums)| (*k, sums.iter().map(Summary::mean).collect()))
+    }
+
+    /// Writes the table as aligned text (the format the `fig*` binaries
+    /// print and `EXPERIMENTS.md` records).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_plain(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        write!(out, "{:>8}", "faults")?;
+        for s in &self.series {
+            write!(out, "  {s:>24}")?;
+        }
+        writeln!(out)?;
+        for (k, means) in self.rows() {
+            write!(out, "{k:>8}")?;
+            for m in means {
+                write!(out, "  {m:>24.4}")?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+
+    /// Renders [`SeriesTable::write_plain`] to a string.
+    pub fn to_plain_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_plain(&mut buf).expect("writing to a Vec");
+        String::from_utf8(buf).expect("ASCII output")
+    }
+
+    /// Writes the table as CSV (header row, then one row per fault count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_csv(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        write!(out, "faults")?;
+        for s in &self.series {
+            write!(out, ",{s}")?;
+        }
+        writeln!(out)?;
+        for (k, means) in self.rows() {
+            write!(out, "{k}")?;
+            for m in means {
+                write!(out, ",{m:.6}")?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_generation_respects_invariants() {
+        let mesh = Mesh::square(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in [0usize, 5, 25] {
+            let (sc, s, d) = generate_trial(mesh, k, &mut rng);
+            assert_eq!(s, mesh.center());
+            assert!(!sc.blocks().is_blocked(s));
+            assert!(!sc.blocks().is_blocked(d));
+            assert!(d.x >= s.x && d.y >= s.y, "dest {d} not in quadrant I");
+            assert_eq!(sc.faults().len(), k);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_sorted() {
+        let cfg = SweepConfig::smoke();
+        let run1 = run(&cfg, &["frac"], |input, _| {
+            vec![f64::from(u8::from(input.dest.x % 2 == 0))]
+        });
+        let run2 = run(&cfg, &["frac"], |input, _| {
+            vec![f64::from(u8::from(input.dest.x % 2 == 0))]
+        });
+        let rows1: Vec<_> = run1.rows().collect();
+        let rows2: Vec<_> = run2.rows().collect();
+        assert_eq!(rows1, rows2);
+        let ks: Vec<usize> = rows1.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, cfg.fault_counts);
+    }
+
+    #[test]
+    fn table_lookup_and_formats() {
+        let cfg = SweepConfig {
+            mesh_size: 20,
+            trials: 10,
+            fault_counts: vec![0, 5],
+            seed: 1,
+        };
+        let table = run(&cfg, &["ones", "halves"], |_, _| vec![1.0, 0.5]);
+        assert_eq!(table.mean("ones", 0), Some(1.0));
+        assert_eq!(table.mean("halves", 5), Some(0.5));
+        assert_eq!(table.mean("missing", 0), None);
+        let plain = table.to_plain_string();
+        assert!(plain.contains("faults"));
+        assert!(plain.contains("ones"));
+        let mut csv = Vec::new();
+        table.write_csv(&mut csv).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        assert!(csv.starts_with("faults,ones,halves"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn wrong_sample_count_panics() {
+        let cfg = SweepConfig {
+            mesh_size: 10,
+            trials: 1,
+            fault_counts: vec![0],
+            seed: 1,
+        };
+        let _ = run(&cfg, &["a", "b"], |_, _| vec![1.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Micro-benchmarks: the 3-D extension's construction and conditions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use emr_mesh3::{conditions, inject, route, Coord3, Mesh3, Scenario3};
+
+fn bench_mesh3(c: &mut Criterion) {
+    let mesh = Mesh3::cube(32);
+    let s = mesh.center();
+    let mut rng = StdRng::seed_from_u64(5);
+    let faults = inject::uniform(mesh, 100, &[s], &mut rng);
+    let d = Coord3::new(28, 29, 27);
+
+    let mut group = c.benchmark_group("mesh3");
+    group.bench_function("scenario_build_32cubed_100faults", |b| {
+        b.iter(|| Scenario3::build(faults.clone()))
+    });
+    let sc = Scenario3::build(faults.clone());
+    group.bench_function("layered_safe", |b| {
+        b.iter(|| conditions::layered_safe(&sc, s, d))
+    });
+    group.bench_function("layered_route", |b| {
+        b.iter(|| route::layered_route(&sc, s, d))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh3);
+criterion_main!(benches);

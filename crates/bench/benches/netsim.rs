@@ -1,0 +1,40 @@
+//! Micro-benchmarks: packet-level simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use emr_core::{Model, Scenario};
+use emr_fault::inject;
+use emr_mesh::Mesh;
+use emr_netsim::{NetSim, Workload, WuRouter};
+
+fn bench_netsim(c: &mut Criterion) {
+    let mesh = Mesh::square(32);
+    let mut rng = StdRng::seed_from_u64(3);
+    let scenario = Scenario::build(inject::uniform(mesh, 24, &[], &mut rng));
+    let view = scenario.view(Model::FaultBlock);
+    let boundary = scenario.boundary_map(Model::FaultBlock);
+
+    let mut group = c.benchmark_group("netsim");
+    for packets in [50usize, 200] {
+        let mut wrng = StdRng::seed_from_u64(packets as u64);
+        let load =
+            Workload::uniform_ensured(&scenario, Model::FaultBlock, packets, 4, &mut wrng);
+        group.bench_with_input(
+            BenchmarkId::new("wu_traffic", packets),
+            &load,
+            |b, load| {
+                b.iter(|| {
+                    let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
+                    load.inject_into(&mut sim);
+                    sim.run_to_completion(1_000_000).expect("bounded")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks: routing a packet across the 200×200 mesh with Wu's
+//! protocol versus the global-information oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use emr_core::{conditions, route, Model, Scenario};
+use emr_fault::inject;
+use emr_mesh::Mesh;
+
+fn bench_routing(c: &mut Criterion) {
+    let mesh = Mesh::square(200);
+    let s = mesh.center();
+    let mut group = c.benchmark_group("routing");
+    for k in [50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(1000 + k as u64);
+        let faults = inject::uniform(mesh, k, &[s], &mut rng);
+        let scenario = Scenario::build(faults);
+        let view = scenario.view(Model::FaultBlock);
+        let boundary = scenario.boundary_map(Model::FaultBlock);
+        // A far destination the safe condition ensures (skew the seed
+        // until one is found, deterministically).
+        let d = mesh
+            .nodes()
+            .filter(|&d| d.x > 150 && d.y > 150 && !view.is_obstacle(d, s, d))
+            .find(|&d| conditions::safe_source(&view, s, d).is_some())
+            .expect("an ensured far destination exists");
+        group.bench_with_input(BenchmarkId::new("wu_protocol", k), &d, |b, &d| {
+            b.iter(|| route::wu_route(&view, &boundary, s, d).expect("ensured"))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_dp", k), &d, |b, &d| {
+            b.iter(|| route::oracle_route(&view, s, d).expect("exists"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

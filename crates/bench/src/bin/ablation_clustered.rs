@@ -1,0 +1,7 @@
+//! Ablation: uniform vs clustered fault placement.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::ablations::clustered_faults(&opts.config);
+    opts.emit(&table);
+}

@@ -1,0 +1,7 @@
+//! Ablation: distributed information-model cost vs fault count.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::ablations::information_cost(&opts.config);
+    opts.emit(&table);
+}

@@ -1,0 +1,7 @@
+//! Ablation: extension 3 pivot placement policies.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::ablations::pivot_policies(&opts.config);
+    opts.emit(&table);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 11. See `emr_bench::figures::fig11`.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::figures::fig11(&opts.config);
+    opts.emit(&table);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 12. See `emr_bench::figures::fig12`.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::figures::fig12(&opts.config);
+    opts.emit(&table);
+}

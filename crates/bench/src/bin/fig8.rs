@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8. See `emr_bench::figures::fig8`.
+
+fn main() {
+    let opts = emr_bench::CliOptions::from_env();
+    let table = emr_bench::figures::fig8(&opts.config);
+    opts.emit(&table);
+}

@@ -1,0 +1,61 @@
+//! System-level load sweep: mean packet latency and delivery under
+//! increasing injection rates, with and without faults — the classic
+//! saturation curve, run on the packet-level simulator with Wu's protocol
+//! as the per-node router.
+//!
+//! Usage: `netsim_load [mesh_size] [faults] [packets]`.
+
+use emr_core::{Model, Scenario};
+use emr_fault::inject;
+use emr_mesh::Mesh;
+use emr_netsim::{NetSim, Workload, WuRouter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let size: i32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let faults: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let packets: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
+
+    let mesh = Mesh::square(size);
+    let mut rng = StdRng::seed_from_u64(77);
+    let scenario = Scenario::build(inject::uniform(mesh, faults, &[], &mut rng));
+    let view = scenario.view(Model::FaultBlock);
+    let boundary = scenario.boundary_map(Model::FaultBlock);
+
+    println!(
+        "{size}x{size} mesh, {faults} faults, {packets} strategy-4 packets per point\n"
+    );
+    println!(
+        "{:>12} {:>10} {:>8} {:>14} {:>14} {:>10}",
+        "inject/cycle", "delivered", "failed", "mean latency", "zero-load lat", "peak queue"
+    );
+    for rate in [1u64, 2, 4, 8, 16, 32] {
+        let mut wrng = StdRng::seed_from_u64(1000 + rate);
+        let load =
+            Workload::uniform_ensured(&scenario, Model::FaultBlock, packets, rate, &mut wrng);
+        let zero_load: f64 = load
+            .packets()
+            .iter()
+            .map(|(_, p)| f64::from(p.source().manhattan(p.dest())))
+            .sum::<f64>()
+            / load.len() as f64;
+        let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
+        load.inject_into(&mut sim);
+        let report = sim.run_to_completion(10_000_000).expect("bounded");
+        println!(
+            "{rate:>12} {:>10} {:>8} {:>14.2} {:>14.2} {:>10}",
+            report.delivered,
+            report.failed,
+            report.mean_latency(),
+            zero_load,
+            report.peak_queue
+        );
+    }
+    println!(
+        "\nreading: latency tracks the zero-load bound until links saturate,\n\
+         then queueing dominates; guaranteed-minimal routing keeps the hop\n\
+         count at the bound regardless of load."
+    );
+}

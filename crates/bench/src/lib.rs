@@ -1,0 +1,143 @@
+//! Figure-reproduction measurements and the tiny CLI shared by the `fig*`
+//! binaries.
+//!
+//! Each function in [`figures`] regenerates one figure of the paper's
+//! evaluation as an [`emr_analysis::SeriesTable`]; the corresponding binary
+//! (`cargo run --release -p emr-bench --bin fig9`) prints it. See
+//! `EXPERIMENTS.md` for the recorded outputs and the paper-vs-measured
+//! comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+
+use emr_analysis::SweepConfig;
+
+/// Command-line options shared by the figure binaries.
+///
+/// Flags: `--trials N`, `--size N`, `--step N`, `--max-faults N`,
+/// `--seed N`, `--smoke` (tiny fast run), `--csv` (CSV instead of an
+/// aligned table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// The sweep configuration assembled from the flags.
+    pub config: SweepConfig,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+}
+
+impl CliOptions {
+    /// Parses the binaries' flags from an argument iterator (excluding the
+    /// program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// numbers.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOptions, String> {
+        let mut config = SweepConfig::default();
+        let mut step = 10usize;
+        let mut max_faults = 200usize;
+        let mut csv = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> Result<u64, String> {
+                args.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match arg.as_str() {
+                "--trials" => config.trials = take("--trials")? as u32,
+                "--size" => config.mesh_size = take("--size")? as i32,
+                "--seed" => config.seed = take("--seed")?,
+                "--step" => step = take("--step")? as usize,
+                "--max-faults" => max_faults = take("--max-faults")? as usize,
+                "--smoke" => {
+                    config = SweepConfig::smoke();
+                    step = 10;
+                    max_faults = *config.fault_counts.last().unwrap_or(&0);
+                }
+                "--csv" => csv = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --trials N --size N --step N --max-faults N --seed N --smoke --csv"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        config.fault_counts = (0..=max_faults).step_by(step.max(1)).collect();
+        Ok(CliOptions { config, csv })
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> CliOptions {
+        match CliOptions::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Prints a table per the selected output format.
+    pub fn emit(&self, table: &emr_analysis::SeriesTable) {
+        let mut out = std::io::stdout().lock();
+        let result = if self.csv {
+            table.write_csv(&mut out)
+        } else {
+            table.write_plain(&mut out)
+        };
+        result.expect("writing to stdout");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.config.mesh_size, 200);
+        assert_eq!(opts.config.trials, 1000);
+        assert_eq!(opts.config.fault_counts.len(), 21);
+        assert!(!opts.csv);
+    }
+
+    #[test]
+    fn flags_override() {
+        let opts = parse(&[
+            "--trials", "50", "--size", "60", "--step", "20", "--max-faults", "100", "--csv",
+        ])
+        .unwrap();
+        assert_eq!(opts.config.trials, 50);
+        assert_eq!(opts.config.mesh_size, 60);
+        assert_eq!(opts.config.fault_counts, vec![0, 20, 40, 60, 80, 100]);
+        assert!(opts.csv);
+    }
+
+    #[test]
+    fn smoke_flag() {
+        let opts = parse(&["--smoke"]).unwrap();
+        assert!(opts.config.mesh_size < 200);
+        assert!(opts.config.trials < 1000);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "abc"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

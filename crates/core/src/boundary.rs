@@ -1,0 +1,150 @@
+use emr_distsim::protocols::boundary as proto;
+use emr_mesh::{Coord, Grid, Mesh, Rect};
+
+pub use emr_distsim::protocols::boundary::{BoundaryLine, BoundaryMark};
+
+/// The faulty-block boundary information of a whole mesh: for every node,
+/// the boundary contours (block, line, direction toward the block) passing
+/// through it.
+///
+/// This is the information Wu's routing protocol consumes; it corresponds
+/// to the lines of the paper's Figure 6 and is exactly what the
+/// distributed propagation protocol in `emr-distsim` delivers (the
+/// equivalence is tested there).
+///
+/// # Examples
+///
+/// ```
+/// use emr_core::{Model, Scenario};
+/// use emr_fault::FaultSet;
+/// use emr_mesh::{Coord, Mesh};
+///
+/// let mesh = Mesh::square(10);
+/// let faults = FaultSet::from_coords(mesh, [Coord::new(5, 5)]);
+/// let scenario = Scenario::build(faults);
+/// let boundary = scenario.boundary_map(Model::FaultBlock);
+/// // The node south of the block's SW corner lies on its L3 line.
+/// assert!(!boundary.marks_at(Coord::new(4, 3)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundaryMap {
+    marks: Grid<Vec<BoundaryMark>>,
+}
+
+impl BoundaryMap {
+    /// Walks every boundary ray of every block (with bending/joining) and
+    /// records the marks.
+    pub fn compute(mesh: &Mesh, blocks: &[Rect], blocked: &Grid<bool>) -> BoundaryMap {
+        BoundaryMap {
+            marks: proto::compute_global(mesh, blocks, blocked),
+        }
+    }
+
+    /// The contours passing through `c` (empty off the lines).
+    pub fn marks_at(&self, c: Coord) -> &[BoundaryMark] {
+        self.marks.get(c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of (node, mark) pairs — the storage cost of the
+    /// boundary information model.
+    pub fn total_marks(&self) -> usize {
+        self.marks.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Scenario};
+    use emr_fault::FaultSet;
+
+    #[test]
+    fn lines_of_a_single_block() {
+        let mesh = Mesh::square(9);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(4, 4)]);
+        let sc = Scenario::build(faults);
+        let map = sc.boundary_map(Model::FaultBlock);
+        // L3 column (x=3): south and north sections.
+        for y in [0, 1, 2, 3, 5, 6, 7, 8] {
+            assert!(
+                map.marks_at(Coord::new(3, y))
+                    .iter()
+                    .any(|m| m.line == BoundaryLine::L3),
+                "no L3 mark at y={y}"
+            );
+        }
+        // A node far off any line has no marks.
+        assert!(map.marks_at(Coord::new(0, 0)).is_empty());
+        // Marks total: 4 lines × 8 nodes each (full row/column minus the
+        // block's own row/column node).
+        assert_eq!(map.total_marks(), 4 * 8);
+    }
+
+    #[test]
+    fn off_mesh_query_is_empty() {
+        let mesh = Mesh::square(5);
+        let sc = Scenario::build(FaultSet::from_coords(mesh, [Coord::new(2, 2)]));
+        let map = sc.boundary_map(Model::FaultBlock);
+        assert!(map.marks_at(Coord::new(-1, -1)).is_empty());
+    }
+    #[test]
+    fn joined_lines_carry_both_blocks() {
+        // Two stacked blocks: the upper block's L3 bends around the lower
+        // one and joins its L3; nodes below carry both marks.
+        let mesh = Mesh::square(14);
+        let faults = FaultSet::from_coords(
+            mesh,
+            (2..=6)
+                .flat_map(|x| (3..=5).map(move |y| Coord::new(x, y)))
+                .chain((5..=7).flat_map(|x| (8..=9).map(move |y| Coord::new(x, y))))
+                .collect::<Vec<_>>(),
+        );
+        let sc = Scenario::build(faults);
+        assert_eq!(sc.blocks().blocks().len(), 2);
+        let map = sc.boundary_map(Model::FaultBlock);
+        // Column x=1 is L3 of the lower block; below the lower block the
+        // joined contour of the upper block passes through it too.
+        let marks = map.marks_at(Coord::new(1, 0));
+        let blocks_here: std::collections::HashSet<_> =
+            marks.iter().map(|m| m.block).collect();
+        assert_eq!(blocks_here.len(), 2, "joined contour carries both blocks");
+    }
+
+    #[test]
+    fn total_marks_scale_with_block_count() {
+        let mesh = Mesh::square(30);
+        let one = Scenario::build(FaultSet::from_coords(mesh, [Coord::new(15, 15)]));
+        let two = Scenario::build(FaultSet::from_coords(
+            mesh,
+            [Coord::new(10, 10), Coord::new(20, 20)],
+        ));
+        let m1 = one.boundary_map(Model::FaultBlock).total_marks();
+        let m2 = two.boundary_map(Model::FaultBlock).total_marks();
+        assert!(m2 > m1, "more blocks, more boundary information");
+        // A single unit block's lines cover 4 × (n − 1) nodes.
+        assert_eq!(m1, 4 * 29);
+    }
+
+    #[test]
+    fn mcc_boundary_uses_component_bounding_rects() {
+        let mesh = Mesh::square(12);
+        // A diagonal pair: FB block is 2×2; MCC type-one components are
+        // smaller, so the advertised rects differ.
+        let sc = Scenario::build(FaultSet::from_coords(
+            mesh,
+            [Coord::new(5, 5), Coord::new(6, 6)],
+        ));
+        let fb = sc.boundary_map(Model::FaultBlock);
+        let mcc = sc.boundary_map(Model::Mcc);
+        let fb_rects: std::collections::HashSet<_> = mesh
+            .nodes()
+            .flat_map(|c| fb.marks_at(c).iter().map(|m| m.block).collect::<Vec<_>>())
+            .collect();
+        let mcc_rects: std::collections::HashSet<_> = mesh
+            .nodes()
+            .flat_map(|c| mcc.marks_at(c).iter().map(|m| m.block).collect::<Vec<_>>())
+            .collect();
+        assert!(fb_rects.contains(&Rect::new(5, 6, 5, 6)));
+        assert_ne!(fb_rects, mcc_rects);
+    }
+}

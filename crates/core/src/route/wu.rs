@@ -1,0 +1,376 @@
+//! Wu's boundary-information routing protocol.
+
+use emr_mesh::{Coord, Direction, Frame, Path};
+#[cfg(test)]
+use emr_mesh::Rect;
+
+use crate::boundary::{BoundaryLine, BoundaryMap};
+use crate::route::RouteError;
+use crate::scenario::ModelView;
+
+/// Routes a packet from `s` to `d` with Wu's protocol: adaptive minimal
+/// routing, consulting the boundary information at each hop.
+///
+/// Normalized to the destination's quadrant, the per-hop rule is the
+/// paper's (§2, WU'S PROTOCOL):
+///
+/// * on the lower section of a block's L3 contour with the destination in
+///   that block's region R4 (north of the block, within its column span) —
+///   the positive-X move is *preferred but detour*: stay on the contour;
+/// * on the left section of a block's L1 contour with the destination in
+///   its region R6 (east of the block, within its row span) — the
+///   positive-Y move is the detour: stay on the contour;
+/// * otherwise any preferred direction may be taken (non-critical).
+///
+/// Every move is preferred, so a completed route is minimal by
+/// construction.
+///
+/// # Errors
+///
+/// [`RouteError::BlockedEndpoint`] when an endpoint is inside an obstacle;
+/// [`RouteError::Stuck`]/[`RouteError::Conflict`] when no allowed preferred
+/// move remains — possible only from sources whose safety the conditions
+/// did not ensure.
+pub fn wu_route(
+    view: &ModelView<'_>,
+    boundary: &BoundaryMap,
+    s: Coord,
+    d: Coord,
+) -> Result<Path, RouteError> {
+    if !view.endpoints_usable(s, d) {
+        return Err(RouteError::BlockedEndpoint);
+    }
+    let mut path = Path::singleton(s);
+    let mut u = s;
+    while u != d {
+        let dir = wu_step(view, boundary, s, d, u)?;
+        u = u.step(dir);
+        path.push(u);
+    }
+    Ok(path)
+}
+
+/// One hop of Wu's protocol: the direction a packet at `u`, en route from
+/// `s` to `d`, must take next. This is the per-node routing function a
+/// mesh router implements; [`wu_route`] is simply its fix-point, and the
+/// packet-level network simulator (`emr-netsim`) drives it hop by hop with
+/// many packets in flight.
+///
+/// # Errors
+///
+/// [`RouteError::Stuck`]/[`RouteError::Conflict`] as for [`wu_route`].
+///
+/// # Panics
+///
+/// Panics if `u == d` (there is no next hop at the destination).
+pub fn wu_step(
+    view: &ModelView<'_>,
+    boundary: &BoundaryMap,
+    s: Coord,
+    d: Coord,
+    u: Coord,
+) -> Result<Direction, RouteError> {
+    assert_ne!(u, d, "no next hop at the destination");
+    let mesh = view.mesh();
+    let frame = Frame::normalizing(s, d);
+    let rel_d = frame.to_rel(d);
+    let rel_u = frame.to_rel(u);
+    // Preferred directions (relative frame).
+    let east_pref = rel_u.x < rel_d.x;
+    let north_pref = rel_u.y < rel_d.y;
+
+    // Boundary constraints: a veto forbids one preferred direction.
+    let mut east_vetoed = false;
+    let mut north_vetoed = false;
+    for mark in boundary.marks_at(u) {
+        let rb = frame.rect_to_rel(&mark.block);
+        let line = rel_line(mark.line, &frame);
+        let toward = frame.dir_to_rel(mark.toward_block);
+        match line {
+            // Lower L3 contour, destination in R4: crossing east of the
+            // contour makes the block uncrossable within the
+            // destination's column — unless the east move itself stays
+            // on the contour (a bend segment).
+            BoundaryLine::L3 => {
+                let on_lower = rel_u.y < rb.y_min();
+                let dest_in_r4 = rel_d.y > rb.y_max() && rel_d.x <= rb.x_max();
+                if on_lower && dest_in_r4 && toward != Direction::East {
+                    east_vetoed = true;
+                }
+            }
+            // Left L1 contour, destination in R6: symmetric.
+            BoundaryLine::L1 => {
+                let on_left = rel_u.x < rb.x_min();
+                let dest_in_r6 = rel_d.x > rb.x_max() && rel_d.y <= rb.y_max();
+                if on_left && dest_in_r6 && toward != Direction::North {
+                    north_vetoed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let open = |dir: Direction| {
+        let v = u.step(frame.dir_to_abs(dir));
+        mesh.contains(v) && !view.is_obstacle(v, s, d)
+    };
+    let east_ok = east_pref && !east_vetoed && open(Direction::East);
+    let north_ok = north_pref && !north_vetoed && open(Direction::North);
+
+    let rel_dir = match (east_ok, north_ok) {
+        (true, true) => {
+            // Non-critical: adaptive choice. Balance the remaining
+            // offsets (deterministic: larger remaining distance first).
+            if rel_d.x - rel_u.x >= rel_d.y - rel_u.y {
+                Direction::East
+            } else {
+                Direction::North
+            }
+        }
+        (true, false) => Direction::East,
+        (false, true) => Direction::North,
+        (false, false) => {
+            // Distinguish a genuine conflict (both vetoed) from a dead
+            // end for the error message.
+            return if east_pref && north_pref && east_vetoed && north_vetoed {
+                Err(RouteError::Conflict(u))
+            } else {
+                Err(RouteError::Stuck(u))
+            };
+        }
+    };
+    Ok(frame.dir_to_abs(rel_dir))
+}
+
+/// Maps an absolute boundary line into the route's relative frame: the
+/// frame's mirrorings swap L1↔L2 (Y flip) and L3↔L4 (X flip).
+fn rel_line(line: BoundaryLine, frame: &Frame) -> BoundaryLine {
+    match line {
+        BoundaryLine::L1 | BoundaryLine::L2 => {
+            if frame.flips_y() {
+                if line == BoundaryLine::L1 {
+                    BoundaryLine::L2
+                } else {
+                    BoundaryLine::L1
+                }
+            } else {
+                line
+            }
+        }
+        BoundaryLine::L3 | BoundaryLine::L4 => {
+            if frame.flips_x() {
+                if line == BoundaryLine::L3 {
+                    BoundaryLine::L4
+                } else {
+                    BoundaryLine::L3
+                }
+            } else {
+                line
+            }
+        }
+    }
+}
+
+/// Re-exported for the tests: whether the destination lies in the paper's
+/// region R4 of a block (strictly north of it, within its column span) in
+/// the relative frame.
+#[cfg(test)]
+pub(crate) fn dest_in_r4(rel_d: Coord, rb: &Rect) -> bool {
+    rel_d.y > rb.y_max() && rel_d.x <= rb.x_max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions;
+    use crate::{Model, Scenario};
+    use emr_fault::{reach, FaultSet};
+    use emr_mesh::Mesh;
+
+    fn scenario(n: i32, coords: &[(i32, i32)]) -> Scenario {
+        let mesh = Mesh::square(n);
+        Scenario::build(FaultSet::from_coords(
+            mesh,
+            coords.iter().map(|&c| Coord::from(c)),
+        ))
+    }
+
+    fn route_ok(sc: &Scenario, s: Coord, d: Coord) -> Path {
+        let view = sc.view(Model::FaultBlock);
+        let boundary = sc.boundary_map(Model::FaultBlock);
+        let p = wu_route(&view, &boundary, s, d).expect("route");
+        assert!(p.is_minimal());
+        assert!(p.avoids(|c| view.is_obstacle(c, s, d)));
+        assert_eq!(p.source(), Some(s));
+        assert_eq!(p.dest(), Some(d));
+        p
+    }
+
+    #[test]
+    fn clear_mesh_routes_everywhere() {
+        let sc = scenario(8, &[]);
+        let s = Coord::new(3, 3);
+        for d in sc.mesh().nodes() {
+            route_ok(&sc, s, d);
+        }
+    }
+
+    #[test]
+    fn critical_selection_stays_on_l3() {
+        // Figure 3(a)'s situation: destination in R4 of a block; a greedy
+        // east-first router would die in the pocket, Wu's protocol hugs L3.
+        let sc = scenario(12, &[(4, 5), (5, 5), (6, 5), (4, 6), (5, 6), (6, 6)]);
+        // Block [4:6, 5:6]; source SW of it, destination due north of the
+        // block's span.
+        let s = Coord::new(1, 1);
+        let d = Coord::new(5, 9);
+        let p = route_ok(&sc, s, d);
+        // The path must cross the block's rows west of column 4.
+        for w in p.nodes().windows(2) {
+            if (5..=6).contains(&w[1].y) {
+                assert!(w[1].x < 4, "crossed the band at {}", w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_selection_stays_on_l1() {
+        // Destination in R6: east of the block within its row span.
+        let sc = scenario(12, &[(5, 4), (5, 5), (5, 6), (6, 4), (6, 5), (6, 6)]);
+        let s = Coord::new(1, 1);
+        let d = Coord::new(10, 5);
+        let p = route_ok(&sc, s, d);
+        // The path must cross the block's columns south of row 4.
+        for w in p.nodes().windows(2) {
+            if (5..=6).contains(&w[1].x) {
+                assert!(w[1].y < 4, "crossed the span at {}", w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn joined_boundaries_route_around_two_blocks() {
+        // Figure 3(b): block i's L3 joins block j's; destination in R4 of
+        // both.
+        let sc = scenario(
+            14,
+            &[
+                // block i = [3:7, 4:5]
+                (3, 4),
+                (4, 4),
+                (5, 4),
+                (6, 4),
+                (7, 4),
+                (3, 5),
+                (4, 5),
+                (5, 5),
+                (6, 5),
+                (7, 5),
+                // block j = [5:8, 8:9]
+                (5, 8),
+                (6, 8),
+                (7, 8),
+                (8, 8),
+                (5, 9),
+                (6, 9),
+                (7, 9),
+                (8, 9),
+            ],
+        );
+        let s = Coord::new(0, 0);
+        let d = Coord::new(6, 12);
+        let p = route_ok(&sc, s, d);
+        // Must pass west of block i (x < 3) while on rows 4..=5 and west of
+        // block j (x < 5) while on rows 8..=9.
+        for c in p.nodes() {
+            if (4..=5).contains(&c.y) {
+                assert!(c.x < 3, "entered i's shadow at {c}");
+            }
+            if (8..=9).contains(&c.y) {
+                assert!(c.x < 5, "entered j's shadow at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_critical_block_is_passed_adaptively() {
+        // Destination beyond the NE corner (region R5): either way around
+        // works and the route stays minimal.
+        let sc = scenario(10, &[(4, 4), (5, 5)]);
+        let s = Coord::new(1, 1);
+        let d = Coord::new(8, 8);
+        route_ok(&sc, s, d);
+    }
+
+    #[test]
+    fn all_quadrants_route_minimally() {
+        let sc = scenario(
+            13,
+            &[(4, 4), (4, 5), (8, 8), (8, 7), (4, 8), (8, 4), (6, 6)],
+        );
+        let s = sc.mesh().center();
+        let view = sc.view(Model::FaultBlock);
+        let boundary = sc.boundary_map(Model::FaultBlock);
+        for d in sc.mesh().nodes() {
+            if view.is_obstacle(d, s, d) {
+                continue;
+            }
+            // Route whenever the safe condition ensures it.
+            if conditions::safe_source(&view, s, d).is_some() {
+                let p = wu_route(&view, &boundary, s, d).expect("ensured route");
+                assert!(p.is_minimal(), "non-minimal to {d}");
+                assert!(p.avoids(|c| view.is_obstacle(c, s, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_source_may_fail_but_never_lies() {
+        // From an unsafe source the router either yields a genuine minimal
+        // path or errors; it never returns a bogus path.
+        let wall: Vec<(i32, i32)> = (0..10).map(|y| (4, y)).collect();
+        let sc = scenario(10, &wall);
+        let view = sc.view(Model::FaultBlock);
+        let boundary = sc.boundary_map(Model::FaultBlock);
+        let s = Coord::new(1, 1);
+        let d = Coord::new(8, 8);
+        // The full-height wall seals the mesh: the oracle confirms no
+        // minimal path exists.
+        assert!(!reach::minimal_path_exists(
+            &sc.mesh(),
+            s,
+            d,
+            |c| view.is_obstacle(c, s, d)
+        ));
+        assert!(wu_route(&view, &boundary, s, d).is_err());
+    }
+
+    #[test]
+    fn blocked_endpoints_error() {
+        let sc = scenario(6, &[(3, 3)]);
+        let view = sc.view(Model::FaultBlock);
+        let boundary = sc.boundary_map(Model::FaultBlock);
+        assert_eq!(
+            wu_route(&view, &boundary, Coord::new(3, 3), Coord::new(5, 5)),
+            Err(RouteError::BlockedEndpoint)
+        );
+    }
+
+    #[test]
+    fn source_equals_destination() {
+        let sc = scenario(6, &[]);
+        let view = sc.view(Model::FaultBlock);
+        let boundary = sc.boundary_map(Model::FaultBlock);
+        let p = wu_route(&view, &boundary, Coord::new(2, 2), Coord::new(2, 2)).unwrap();
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn r4_helper_matches_definition() {
+        let rb = Rect::new(3, 6, 4, 5);
+        assert!(dest_in_r4(Coord::new(5, 9), &rb));
+        assert!(dest_in_r4(Coord::new(6, 6), &rb));
+        assert!(!dest_in_r4(Coord::new(7, 9), &rb)); // east of span
+        assert!(!dest_in_r4(Coord::new(5, 5), &rb)); // inside rows
+    }
+}

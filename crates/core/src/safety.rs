@@ -1,0 +1,247 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use emr_distsim::protocols::{esl, EslTuple};
+use emr_fault::{BlockMap, MccMap};
+use emr_mesh::{Coord, Direction, Dist, Frame, Grid, Mesh, UNBOUNDED};
+
+/// The **extended safety level** of a node: the 4-tuple `(E, S, W, N)` of
+/// hop distances to the closest faulty block (or MCC) in each direction
+/// along the node's own row/column, `∞` when that direction is clear to the
+/// mesh edge (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use emr_core::SafetyLevel;
+/// use emr_mesh::{Coord, Direction, Frame, UNBOUNDED};
+///
+/// let esl = SafetyLevel::new(5, UNBOUNDED, UNBOUNDED, 3);
+/// assert_eq!(esl.toward(Direction::East), 5);
+/// // Definition 3: safe for destinations strictly inside the clear
+/// // sections of both axes.
+/// let frame = Frame::at(Coord::ORIGIN);
+/// assert!(esl.safe_for(&frame, Coord::new(4, 2)));
+/// assert!(!esl.safe_for(&frame, Coord::new(5, 2))); // xd == E
+/// assert!(!esl.safe_for(&frame, Coord::new(4, 3))); // yd == N
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SafetyLevel {
+    // Indexed by `Direction::index()`: [E, N, W, S].
+    dists: [Dist; 4],
+}
+
+impl SafetyLevel {
+    /// The default level `(∞, ∞, ∞, ∞)` of a node with no block in sight.
+    pub const UNBOUNDED: SafetyLevel = SafetyLevel {
+        dists: [UNBOUNDED; 4],
+    };
+
+    /// Creates a level from its components in the paper's `(E, S, W, N)`
+    /// order.
+    pub fn new(e: Dist, s: Dist, w: Dist, n: Dist) -> Self {
+        let mut dists = [UNBOUNDED; 4];
+        dists[Direction::East.index()] = e;
+        dists[Direction::South.index()] = s;
+        dists[Direction::West.index()] = w;
+        dists[Direction::North.index()] = n;
+        SafetyLevel { dists }
+    }
+
+    /// Creates a level from a direction-indexed tuple (the wire format of
+    /// the distributed formation protocol).
+    pub fn from_tuple(dists: EslTuple) -> Self {
+        SafetyLevel { dists }
+    }
+
+    /// The distance to the nearest block in `dir`.
+    pub fn toward(&self, dir: Direction) -> Dist {
+        self.dists[dir.index()]
+    }
+
+    /// The raw direction-indexed tuple.
+    pub fn as_tuple(&self) -> EslTuple {
+        self.dists
+    }
+
+    /// Definition 3 generalized to any quadrant: with `rel_d` the
+    /// destination's coordinates in `frame` (so `rel_d.x, rel_d.y ≥ 0`),
+    /// this node is *safe with respect to the destination* when
+    /// `rel_d.x < E'` and `rel_d.y < N'`, where `E'`/`N'` are this level's
+    /// entries toward the frame's relative East/North.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_d` has a negative component (the caller must
+    /// normalize first).
+    pub fn safe_for(&self, frame: &Frame, rel_d: Coord) -> bool {
+        assert!(
+            rel_d.x >= 0 && rel_d.y >= 0,
+            "destination {rel_d} not normalized to quadrant I"
+        );
+        let e = self.toward(frame.dir_to_abs(Direction::East));
+        let n = self.toward(frame.dir_to_abs(Direction::North));
+        (rel_d.x as Dist) < e && (rel_d.y as Dist) < n
+    }
+}
+
+impl Default for SafetyLevel {
+    fn default() -> Self {
+        SafetyLevel::UNBOUNDED
+    }
+}
+
+impl fmt::Display for SafetyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = |d: Dist| -> String {
+            if d == UNBOUNDED {
+                "∞".to_owned()
+            } else {
+                d.to_string()
+            }
+        };
+        write!(
+            f,
+            "(E:{}, S:{}, W:{}, N:{})",
+            p(self.toward(Direction::East)),
+            p(self.toward(Direction::South)),
+            p(self.toward(Direction::West)),
+            p(self.toward(Direction::North)),
+        )
+    }
+}
+
+/// The extended safety levels of every node of a mesh for one obstacle map.
+///
+/// Computed by directional sweeps (identical, by the `emr-distsim` test
+/// suite, to running the paper's distributed FORMATION protocol to
+/// quiescence).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyMap {
+    levels: Grid<SafetyLevel>,
+}
+
+impl SafetyMap {
+    /// Computes the safety levels for an arbitrary obstacle grid.
+    pub fn compute(blocked: &Grid<bool>) -> SafetyMap {
+        let tuples = esl::compute_global(blocked);
+        SafetyMap {
+            levels: tuples.map(|&t| SafetyLevel::from_tuple(t)),
+        }
+    }
+
+    /// Computes the safety levels under the faulty-block model.
+    pub fn for_blocks(blocks: &BlockMap) -> SafetyMap {
+        let grid = Grid::from_fn(blocks.mesh(), |c| blocks.is_blocked(c));
+        SafetyMap::compute(&grid)
+    }
+
+    /// Computes the safety levels under one MCC labeling.
+    pub fn for_mcc(mcc: &MccMap) -> SafetyMap {
+        let grid = Grid::from_fn(mcc.mesh(), |c| mcc.is_blocked(c));
+        SafetyMap::compute(&grid)
+    }
+
+    /// The mesh covered.
+    pub fn mesh(&self) -> Mesh {
+        self.levels.mesh()
+    }
+
+    /// The safety level of node `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn level(&self, c: Coord) -> SafetyLevel {
+        self.levels[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emr_fault::FaultSet;
+
+    #[test]
+    fn paper_order_constructor_matches_directions() {
+        let esl = SafetyLevel::new(1, 2, 3, 4);
+        assert_eq!(esl.toward(Direction::East), 1);
+        assert_eq!(esl.toward(Direction::South), 2);
+        assert_eq!(esl.toward(Direction::West), 3);
+        assert_eq!(esl.toward(Direction::North), 4);
+        assert_eq!(esl.to_string(), "(E:1, S:2, W:3, N:4)");
+    }
+
+    #[test]
+    fn unbounded_display_and_default() {
+        assert_eq!(SafetyLevel::default(), SafetyLevel::UNBOUNDED);
+        assert_eq!(SafetyLevel::UNBOUNDED.to_string(), "(E:∞, S:∞, W:∞, N:∞)");
+    }
+
+    #[test]
+    fn safe_for_in_mirrored_frames() {
+        // A node with a block 3 hops to its West and 4 to its South is
+        // safe for quadrant-III destinations within those bounds.
+        let esl = SafetyLevel::new(UNBOUNDED, 4, 3, UNBOUNDED);
+        let s = Coord::new(10, 10);
+        let frame = Frame::normalizing(s, Coord::new(5, 5));
+        assert!(esl.safe_for(&frame, Coord::new(2, 3)));
+        assert!(!esl.safe_for(&frame, Coord::new(3, 3))); // W limit
+        assert!(!esl.safe_for(&frame, Coord::new(2, 4))); // S limit
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn safe_for_rejects_unnormalized_destination() {
+        let frame = Frame::at(Coord::ORIGIN);
+        let _ = SafetyLevel::UNBOUNDED.safe_for(&frame, Coord::new(-1, 0));
+    }
+
+    #[test]
+    fn map_distances_around_a_block() {
+        let mesh = Mesh::square(8);
+        let faults = FaultSet::from_coords(mesh, [Coord::new(4, 4), Coord::new(5, 5)]);
+        let blocks = BlockMap::build(&faults);
+        // The two diagonal faults close into the block [4:5, 4:5].
+        let map = SafetyMap::for_blocks(&blocks);
+        let at = |x, y| map.level(Coord::new(x, y));
+        assert_eq!(at(0, 4).toward(Direction::East), 4);
+        assert_eq!(at(3, 4).toward(Direction::East), 1);
+        assert_eq!(at(4, 0).toward(Direction::North), 4);
+        assert_eq!(at(4, 7).toward(Direction::South), 2);
+        assert_eq!(at(0, 0), SafetyLevel::UNBOUNDED);
+        // East of the block, W is small and E unbounded.
+        assert_eq!(at(7, 5).toward(Direction::West), 2);
+        assert_eq!(at(7, 5).toward(Direction::East), UNBOUNDED);
+    }
+
+    #[test]
+    fn mcc_map_is_no_more_restrictive_than_block_map() {
+        let mesh = Mesh::square(10);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [
+                Coord::new(3, 3),
+                Coord::new(4, 4),
+                Coord::new(5, 3),
+                Coord::new(8, 8),
+            ],
+        );
+        let blocks = BlockMap::build(&faults);
+        let mcc = MccMap::build(&faults, emr_fault::MccType::One);
+        let bm = SafetyMap::for_blocks(&blocks);
+        let mm = SafetyMap::for_mcc(&mcc);
+        for c in mesh.nodes() {
+            if blocks.is_blocked(c) || mcc.is_blocked(c) {
+                continue;
+            }
+            for dir in Direction::ALL {
+                assert!(
+                    mm.level(c).toward(dir) >= bm.level(c).toward(dir),
+                    "MCC tighter than blocks at {c} toward {dir}"
+                );
+            }
+        }
+    }
+}

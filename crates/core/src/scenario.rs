@@ -1,0 +1,269 @@
+use serde::{Deserialize, Serialize};
+
+use emr_fault::{BlockMap, FaultSet, MccMap, MccType};
+use emr_mesh::{Coord, Grid, Mesh, Rect};
+
+use crate::boundary::BoundaryMap;
+use crate::safety::{SafetyLevel, SafetyMap};
+
+/// Which fault model a computation runs under.
+///
+/// The paper evaluates everything twice: under the rectangular
+/// faulty-block model (Definition 1) and under Wang's MCC refinement
+/// (Definition 2, the `a`-suffixed extensions and strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// Rectangular faulty blocks.
+    FaultBlock,
+    /// Minimal connected components.
+    Mcc,
+}
+
+impl Model {
+    /// Both models.
+    pub const ALL: [Model; 2] = [Model::FaultBlock, Model::Mcc];
+}
+
+/// One fault configuration, decomposed once under both fault models with
+/// the corresponding safety maps.
+///
+/// Building a scenario runs: Definition 1 block formation, both MCC
+/// labelings, and three safety-level sweeps (blocks, MCC type-one, MCC
+/// type-two). Boundary maps are built on demand via
+/// [`Scenario::boundary_map`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    faults: FaultSet,
+    blocks: BlockMap,
+    mcc: [MccMap; 2],
+    block_safety: SafetyMap,
+    mcc_safety: [SafetyMap; 2],
+}
+
+impl Scenario {
+    /// Decomposes a fault set under both models.
+    pub fn build(faults: FaultSet) -> Scenario {
+        let blocks = BlockMap::build(&faults);
+        let mcc = [
+            MccMap::build(&faults, MccType::One),
+            MccMap::build(&faults, MccType::Two),
+        ];
+        let block_safety = SafetyMap::for_blocks(&blocks);
+        let mcc_safety = [SafetyMap::for_mcc(&mcc[0]), SafetyMap::for_mcc(&mcc[1])];
+        Scenario {
+            faults,
+            blocks,
+            mcc,
+            block_safety,
+            mcc_safety,
+        }
+    }
+
+    /// The mesh this scenario lives in.
+    pub fn mesh(&self) -> Mesh {
+        self.faults.mesh()
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The faulty-block decomposition.
+    pub fn blocks(&self) -> &BlockMap {
+        &self.blocks
+    }
+
+    /// The MCC decomposition for one labeling type.
+    pub fn mcc(&self, ty: MccType) -> &MccMap {
+        &self.mcc[mcc_index(ty)]
+    }
+
+    /// A view of this scenario under one fault model; most conditions and
+    /// routers operate on views.
+    pub fn view(&self, model: Model) -> ModelView<'_> {
+        ModelView {
+            scenario: self,
+            model,
+        }
+    }
+
+    /// The boundary-line information for one model. Under the MCC model
+    /// this uses the **type-one** labeling (quadrant I/III routes, the
+    /// paper's canonical case); use [`Scenario::boundary_map_for`] to get
+    /// the map matching an arbitrary route.
+    ///
+    /// Boundary lines always carry *bounding rectangles*; under MCC these
+    /// are the component bounding boxes, whose veto geometry does not
+    /// always match the staircase obstacle shapes. MCC routing is
+    /// therefore *sound but incomplete*: every path produced is minimal,
+    /// but the router can occasionally report `Stuck` for an ensured pair
+    /// (exact staircase boundary information is future work; the paper
+    /// only states that boundary information "is the same" under MCC).
+    pub fn boundary_map(&self, model: Model) -> BoundaryMap {
+        match model {
+            Model::FaultBlock => self.block_boundary_map(),
+            Model::Mcc => self.mcc_boundary_map(MccType::One),
+        }
+    }
+
+    /// The boundary-line information matching routes from `s` to `d` under
+    /// `model` (picks the MCC labeling type from the route's quadrant).
+    pub fn boundary_map_for(&self, model: Model, s: Coord, d: Coord) -> BoundaryMap {
+        match model {
+            Model::FaultBlock => self.block_boundary_map(),
+            Model::Mcc => self.mcc_boundary_map(MccType::for_route(s, d)),
+        }
+    }
+
+    fn block_boundary_map(&self) -> BoundaryMap {
+        let mesh = self.mesh();
+        let blocked = Grid::from_fn(mesh, |c| self.blocks.is_blocked(c));
+        BoundaryMap::compute(&mesh, &self.blocks.rects(), &blocked)
+    }
+
+    fn mcc_boundary_map(&self, ty: MccType) -> BoundaryMap {
+        let mesh = self.mesh();
+        let mcc = self.mcc(ty);
+        let blocked = Grid::from_fn(mesh, |c| mcc.is_blocked(c));
+        BoundaryMap::compute(&mesh, &mcc.rects(), &blocked)
+    }
+}
+
+fn mcc_index(ty: MccType) -> usize {
+    match ty {
+        MccType::One => 0,
+        MccType::Two => 1,
+    }
+}
+
+/// A scenario seen through one fault model: answers "is this node an
+/// obstacle for this route?" and "what is this node's safety level?"
+/// consistently with that model.
+///
+/// Under the MCC model both answers depend on the route's quadrant pair
+/// (type-one for I/III, type-two for II/IV), so the accessors take the
+/// route's endpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelView<'a> {
+    scenario: &'a Scenario,
+    model: Model,
+}
+
+impl<'a> ModelView<'a> {
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The model this view applies.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.scenario.mesh()
+    }
+
+    /// Whether `c` is an obstacle for routes from `s` to `d`.
+    pub fn is_obstacle(&self, c: Coord, s: Coord, d: Coord) -> bool {
+        match self.model {
+            Model::FaultBlock => self.scenario.blocks.is_blocked(c),
+            Model::Mcc => self.scenario.mcc(MccType::for_route(s, d)).is_blocked(c),
+        }
+    }
+
+    /// The safety level of `u` for routes from `s` to `d`.
+    pub fn level_for(&self, u: Coord, s: Coord, d: Coord) -> SafetyLevel {
+        match self.model {
+            Model::FaultBlock => self.scenario.block_safety.level(u),
+            Model::Mcc => {
+                self.scenario.mcc_safety[mcc_index(MccType::for_route(s, d))].level(u)
+            }
+        }
+    }
+
+    /// The obstacle bounding rectangles relevant to routes from `s` to `d`.
+    pub fn rects_for(&self, s: Coord, d: Coord) -> Vec<Rect> {
+        match self.model {
+            Model::FaultBlock => self.scenario.blocks.rects(),
+            Model::Mcc => self.scenario.mcc(MccType::for_route(s, d)).rects(),
+        }
+    }
+
+    /// Whether both endpoints have fault-free status under this model (the
+    /// paper's standing assumption on sources and destinations).
+    pub fn endpoints_usable(&self, s: Coord, d: Coord) -> bool {
+        !self.is_obstacle(s, s, d) && !self.is_obstacle(d, s, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        let mesh = Mesh::square(12);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [Coord::new(5, 5), Coord::new(6, 6), Coord::new(2, 9)],
+        );
+        Scenario::build(faults)
+    }
+
+    #[test]
+    fn views_agree_with_their_models() {
+        let sc = scenario();
+        let fb = sc.view(Model::FaultBlock);
+        let mc = sc.view(Model::Mcc);
+        let s = Coord::new(0, 0);
+        let d = Coord::new(11, 11); // quadrant I → MCC type-one
+        // The diagonal pocket (5,6) is disabled under blocks.
+        let pocket = Coord::new(5, 6);
+        assert!(fb.is_obstacle(pocket, s, d));
+        assert_eq!(
+            mc.is_obstacle(pocket, s, d),
+            sc.mcc(MccType::One).is_blocked(pocket)
+        );
+    }
+
+    #[test]
+    fn mcc_view_switches_type_with_quadrant() {
+        let sc = scenario();
+        let mc = sc.view(Model::Mcc);
+        let s = Coord::new(8, 3);
+        let d1 = Coord::new(11, 11); // quadrant I
+        let d2 = Coord::new(0, 11); // quadrant II
+        for c in sc.mesh().nodes() {
+            assert_eq!(
+                mc.is_obstacle(c, s, d1),
+                sc.mcc(MccType::One).is_blocked(c)
+            );
+            assert_eq!(
+                mc.is_obstacle(c, s, d2),
+                sc.mcc(MccType::Two).is_blocked(c)
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_usability() {
+        let sc = scenario();
+        let fb = sc.view(Model::FaultBlock);
+        assert!(fb.endpoints_usable(Coord::new(0, 0), Coord::new(11, 11)));
+        assert!(!fb.endpoints_usable(Coord::new(5, 5), Coord::new(11, 11)));
+        assert!(!fb.endpoints_usable(Coord::new(0, 0), Coord::new(5, 6)));
+    }
+
+    #[test]
+    fn safety_levels_differ_between_models() {
+        let sc = scenario();
+        let s = Coord::new(4, 6); // west of the disabled pocket (5,6)
+        let d = Coord::new(9, 9);
+        let fb = sc.view(Model::FaultBlock).level_for(s, s, d);
+        let mc = sc.view(Model::Mcc).level_for(s, s, d);
+        use emr_mesh::Direction;
+        assert!(mc.toward(Direction::East) >= fb.toward(Direction::East));
+    }
+}

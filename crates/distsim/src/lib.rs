@@ -1,0 +1,29 @@
+//! Synchronous message-passing simulator for the paper's distributed
+//! fault-information protocols.
+//!
+//! The paper's information model is *distributed*: after faults occur and
+//! faulty blocks form, nodes exchange messages so that
+//!
+//! * every node in a block's "shadow" learns its **extended safety level**
+//!   (the FORMATION-EXTENDED-SAFETY-LEVEL-INFORMATION algorithm of §4),
+//! * every node on a block's **boundary lines** learns that block's corner
+//!   coordinates (the L1–L4 lines of §2, which bend around and join other
+//!   blocks),
+//! * nodes in each block-free region of an affected row/column exchange
+//!   safety levels end-to-end (extension 2), and
+//! * pivot nodes broadcast their safety levels mesh-wide (extension 3).
+//!
+//! This crate provides the substrate — a deterministic synchronous-round
+//! [`engine`] with per-node mailboxes and message/round accounting — plus
+//! one protocol module per information flow. Each protocol's distributed
+//! result is checked against the corresponding global computation in the
+//! `emr-core` test suite; message and round counts feed the implementation
+//! discussion reproduced in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocols;
+
+pub use engine::{Engine, Protocol, RunStats};

@@ -1,0 +1,188 @@
+//! Extension 3's pivot broadcast (paper §4).
+//!
+//! Selected *pivot* nodes distribute their extended safety levels to every
+//! node in the mesh by flooding. Block nodes do not relay; the paper's
+//! fault densities leave the enabled subgraph connected in practice, and
+//! the reference computation mirrors the same reachability so the
+//! distributed and global results always agree.
+
+use std::collections::BTreeMap;
+
+use emr_mesh::{Coord, Grid, Mesh};
+
+use crate::engine::Protocol;
+use crate::protocols::EslTuple;
+
+/// What a node knows after the broadcast: the safety level of every pivot
+/// whose flood reached it.
+pub type PivotKnowledge = BTreeMap<Coord, EslTuple>;
+
+/// One flooded fact: pivot `pivot` has safety level `esl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PivotMsg {
+    pivot: Coord,
+    esl: EslTuple,
+}
+
+/// The pivot-broadcast protocol.
+#[derive(Debug, Clone)]
+pub struct PivotBroadcast {
+    blocked: Grid<bool>,
+    esl: Grid<EslTuple>,
+    pivots: Vec<Coord>,
+}
+
+impl PivotBroadcast {
+    /// Creates the protocol: each of `pivots` floods its own entry from
+    /// `esl` through the enabled subgraph. Pivots inside blocks are
+    /// silently inert (they cannot send).
+    pub fn new(blocked: Grid<bool>, esl: Grid<EslTuple>, pivots: Vec<Coord>) -> Self {
+        PivotBroadcast {
+            blocked,
+            esl,
+            pivots,
+        }
+    }
+
+    fn open_neighbors<'a>(&'a self, mesh: &'a Mesh, c: Coord) -> impl Iterator<Item = Coord> + 'a {
+        mesh.neighbors(c).filter(|&n| !self.blocked[n])
+    }
+}
+
+impl Protocol for PivotBroadcast {
+    type State = PivotKnowledge;
+    type Msg = PivotMsg;
+
+    fn init(&self, mesh: &Mesh, c: Coord) -> (PivotKnowledge, Vec<(Coord, PivotMsg)>) {
+        let mut state = PivotKnowledge::new();
+        if self.blocked[c] || !self.pivots.contains(&c) {
+            return (state, Vec::new());
+        }
+        let msg = PivotMsg {
+            pivot: c,
+            esl: self.esl[c],
+        };
+        state.insert(c, msg.esl);
+        let sends = self.open_neighbors(mesh, c).map(|n| (n, msg)).collect();
+        (state, sends)
+    }
+
+    fn on_message(
+        &self,
+        mesh: &Mesh,
+        c: Coord,
+        state: &mut PivotKnowledge,
+        from: Coord,
+        msg: PivotMsg,
+    ) -> Vec<(Coord, PivotMsg)> {
+        if self.blocked[c] || state.contains_key(&msg.pivot) {
+            return Vec::new();
+        }
+        state.insert(msg.pivot, msg.esl);
+        self.open_neighbors(mesh, c)
+            .filter(|&n| n != from)
+            .map(|n| (n, msg))
+            .collect()
+    }
+}
+
+/// The global reference computation: BFS reachability from each pivot over
+/// the enabled subgraph.
+pub fn compute_global(
+    blocked: &Grid<bool>,
+    esl: &Grid<EslTuple>,
+    pivots: &[Coord],
+) -> Grid<PivotKnowledge> {
+    let mesh = blocked.mesh();
+    let mut out: Grid<PivotKnowledge> = Grid::new(mesh, PivotKnowledge::new());
+    for &p in pivots {
+        if blocked[p] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([p]);
+        let mut seen = Grid::new(mesh, false);
+        seen[p] = true;
+        while let Some(u) = queue.pop_front() {
+            out[u].insert(p, esl[p]);
+            for v in mesh.neighbors(u) {
+                if !seen[v] && !blocked[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::esl::compute_global as esl_global;
+    use crate::Engine;
+
+    fn setup(
+        mesh: Mesh,
+        blocks: &[(i32, i32)],
+        pivots: Vec<Coord>,
+    ) -> (Grid<PivotKnowledge>, Grid<PivotKnowledge>, crate::RunStats) {
+        let blocked = Grid::from_fn(mesh, |c| blocks.contains(&(c.x, c.y)));
+        let esl = esl_global(&blocked);
+        let global = compute_global(&blocked, &esl, &pivots);
+        let proto = PivotBroadcast::new(blocked, esl, pivots);
+        let (dist, stats) = Engine::new(mesh).run(&proto);
+        (dist, global, stats)
+    }
+
+    #[test]
+    fn every_node_learns_every_pivot() {
+        let mesh = Mesh::square(7);
+        let pivots = vec![Coord::new(1, 1), Coord::new(5, 5)];
+        let (dist, _, _) = setup(mesh, &[], pivots.clone());
+        for c in mesh.nodes() {
+            for p in &pivots {
+                assert!(dist[c].contains_key(p), "{c} missing pivot {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_global() {
+        let mesh = Mesh::square(8);
+        let pivots = vec![Coord::new(0, 0), Coord::new(6, 2), Coord::new(3, 7)];
+        let (dist, global, _) = setup(mesh, &[(3, 3), (4, 3), (3, 4)], pivots);
+        for c in mesh.nodes() {
+            assert_eq!(dist[c], global[c], "mismatch at {c}");
+        }
+    }
+
+    #[test]
+    fn blocked_pivot_is_inert() {
+        let mesh = Mesh::square(5);
+        let (dist, _, stats) = setup(mesh, &[(2, 2)], vec![Coord::new(2, 2)]);
+        assert_eq!(stats.messages, 0);
+        for c in mesh.nodes() {
+            assert!(dist[c].is_empty());
+        }
+    }
+
+    #[test]
+    fn flood_respects_partitions() {
+        // A full wall splits the 1-wide mesh; the pivot's flood stays on
+        // its side.
+        let mesh = Mesh::new(7, 1);
+        let (dist, _, _) = setup(mesh, &[(3, 0)], vec![Coord::new(1, 0)]);
+        assert!(dist[Coord::new(2, 0)].contains_key(&Coord::new(1, 0)));
+        assert!(dist[Coord::new(5, 0)].is_empty());
+    }
+
+    #[test]
+    fn message_count_is_bounded_by_edges_per_pivot() {
+        let mesh = Mesh::square(6);
+        let pivots = vec![Coord::new(0, 0), Coord::new(5, 5)];
+        let (_, _, stats) = setup(mesh, &[], pivots);
+        // Each pivot's flood sends at most one message per directed edge.
+        let directed_edges = 2 * (2 * 6 * 5) as u64;
+        assert!(stats.messages <= 2 * directed_edges);
+    }
+}

@@ -1,0 +1,315 @@
+//! Extension 2's region exchange (paper §4).
+//!
+//! An *affected* row (column) intersects at least one faulty block. Blocks
+//! partition each affected row (column) into disjoint block-free regions;
+//! the nodes of each region exchange their extended safety levels so that
+//! afterwards every node knows the safety level of every other node in its
+//! region. The paper's implementation — reproduced here — starts one
+//! accumulation at each end of a region and pushes partially accumulated
+//! information to the other end, so each node receives exactly one message
+//! per direction per axis and the two halves compose to full knowledge.
+
+use emr_mesh::{Coord, Direction, Grid, Mesh};
+
+use crate::engine::Protocol;
+use crate::protocols::EslTuple;
+
+/// What a node knows after the exchange: every `(offset-along-axis, safety
+/// level)` in its row region and its column region (its own entry
+/// included).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegionKnowledge {
+    /// `(x, esl)` for every node in this node's row region.
+    pub row: Vec<(i32, EslTuple)>,
+    /// `(y, esl)` for every node in this node's column region.
+    pub col: Vec<(i32, EslTuple)>,
+}
+
+/// A partially accumulated sweep along one axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepMsg {
+    axis: Axis,
+    entries: Vec<(i32, EslTuple)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Row,
+    Col,
+}
+
+impl Axis {
+    fn forward(self) -> Direction {
+        match self {
+            Axis::Row => Direction::East,
+            Axis::Col => Direction::North,
+        }
+    }
+
+    fn backward(self) -> Direction {
+        self.forward().opposite()
+    }
+
+    fn offset(self, c: Coord) -> i32 {
+        match self {
+            Axis::Row => c.x,
+            Axis::Col => c.y,
+        }
+    }
+}
+
+/// The region-exchange protocol over a fixed obstacle map and the already
+/// formed safety levels.
+///
+/// Exchanges run **only along affected rows and columns** (those
+/// intersecting at least one block): the paper's §4 notes that only those
+/// nodes need to collect safety-level information, and Theorem 2 estimates
+/// exactly this participation cost.
+#[derive(Debug, Clone)]
+pub struct RegionExchange {
+    blocked: Grid<bool>,
+    esl: Grid<EslTuple>,
+    affected_rows: Vec<bool>,
+    affected_cols: Vec<bool>,
+}
+
+impl RegionExchange {
+    /// Creates the protocol; `esl` is each node's own extended safety level
+    /// (the output of the formation protocol) and `blocked` marks block
+    /// membership.
+    pub fn new(blocked: Grid<bool>, esl: Grid<EslTuple>) -> Self {
+        let (affected_rows, affected_cols) = affected_lanes(&blocked);
+        RegionExchange {
+            blocked,
+            esl,
+            affected_rows,
+            affected_cols,
+        }
+    }
+
+    fn is_open(&self, mesh: &Mesh, c: Coord) -> bool {
+        mesh.contains(c) && !self.blocked.get(c).copied().unwrap_or(true)
+    }
+
+    fn lane_affected(&self, axis: Axis, c: Coord) -> bool {
+        match axis {
+            Axis::Row => self.affected_rows[c.y as usize],
+            Axis::Col => self.affected_cols[c.x as usize],
+        }
+    }
+}
+
+/// Which rows and columns intersect a block.
+fn affected_lanes(blocked: &Grid<bool>) -> (Vec<bool>, Vec<bool>) {
+    let mesh = blocked.mesh();
+    let mut rows = vec![false; mesh.height() as usize];
+    let mut cols = vec![false; mesh.width() as usize];
+    for (c, &b) in blocked.iter() {
+        if b {
+            rows[c.y as usize] = true;
+            cols[c.x as usize] = true;
+        }
+    }
+    (rows, cols)
+}
+
+impl Protocol for RegionExchange {
+    type State = RegionKnowledge;
+    type Msg = SweepMsg;
+
+    fn init(&self, mesh: &Mesh, c: Coord) -> (RegionKnowledge, Vec<(Coord, SweepMsg)>) {
+        let mut state = RegionKnowledge::default();
+        let mut sends = Vec::new();
+        if self.blocked[c] {
+            return (state, sends);
+        }
+        state.row.push((c.x, self.esl[c]));
+        state.col.push((c.y, self.esl[c]));
+        // A node at a region end (no open neighbor behind it) starts the
+        // forward sweep; a node at the other end starts the backward sweep.
+        // Unaffected lanes carry no useful safety information and stay
+        // silent (paper §4 / Theorem 2).
+        for axis in [Axis::Row, Axis::Col] {
+            if !self.lane_affected(axis, c) {
+                continue;
+            }
+            for (towards, behind) in [
+                (axis.forward(), axis.backward()),
+                (axis.backward(), axis.forward()),
+            ] {
+                if !self.is_open(mesh, c.step(behind)) && self.is_open(mesh, c.step(towards)) {
+                    sends.push((
+                        c.step(towards),
+                        SweepMsg {
+                            axis,
+                            entries: vec![(axis.offset(c), self.esl[c])],
+                        },
+                    ));
+                }
+            }
+        }
+        (state, sends)
+    }
+
+    fn on_message(
+        &self,
+        mesh: &Mesh,
+        c: Coord,
+        state: &mut RegionKnowledge,
+        from: Coord,
+        msg: SweepMsg,
+    ) -> Vec<(Coord, SweepMsg)> {
+        let knowledge = match msg.axis {
+            Axis::Row => &mut state.row,
+            Axis::Col => &mut state.col,
+        };
+        for entry in &msg.entries {
+            if !knowledge.contains(entry) {
+                knowledge.push(*entry);
+            }
+        }
+        // Keep sweeping away from the sender, accumulating our own entry.
+        let dir = from.direction_to(c).expect("neighbor message");
+        let next = c.step(dir);
+        if !self.is_open(mesh, next) {
+            return Vec::new();
+        }
+        let mut entries = msg.entries;
+        entries.push((msg.axis.offset(c), self.esl[c]));
+        vec![(
+            next,
+            SweepMsg {
+                axis: msg.axis,
+                entries,
+            },
+        )]
+    }
+}
+
+/// The global reference computation: region knowledge by direct scanning
+/// (affected rows and columns only, like the protocol).
+pub fn compute_global(blocked: &Grid<bool>, esl: &Grid<EslTuple>) -> Grid<RegionKnowledge> {
+    let mesh = blocked.mesh();
+    let (rows, cols) = affected_lanes(blocked);
+    Grid::from_fn(mesh, |c| {
+        if blocked[c] {
+            return RegionKnowledge::default();
+        }
+        let scan = |axis: Axis| {
+            let mut entries = vec![(axis.offset(c), esl[c])];
+            let affected = match axis {
+                Axis::Row => rows[c.y as usize],
+                Axis::Col => cols[c.x as usize],
+            };
+            if !affected {
+                return entries;
+            }
+            for dir in [axis.backward(), axis.forward()] {
+                let mut cur = c.step(dir);
+                while mesh.contains(cur) && !blocked[cur] {
+                    entries.push((axis.offset(cur), esl[cur]));
+                    cur = cur.step(dir);
+                }
+            }
+            entries
+        };
+        RegionKnowledge {
+            row: scan(Axis::Row),
+            col: scan(Axis::Col),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::esl::{compute_global as esl_global, EslFormation};
+    use crate::Engine;
+
+    fn run(mesh: Mesh, blocks: &[(i32, i32)]) -> (Grid<RegionKnowledge>, Grid<RegionKnowledge>) {
+        let blocked = Grid::from_fn(mesh, |c| blocks.contains(&(c.x, c.y)));
+        let (esl, _) = Engine::new(mesh).run(&EslFormation::new(blocked.clone()));
+        let global = compute_global(&blocked, &esl_global(&blocked));
+        let (dist, _) = Engine::new(mesh).run(&RegionExchange::new(blocked, esl));
+        (dist, global)
+    }
+
+    fn normalized(k: &RegionKnowledge) -> RegionKnowledge {
+        let mut out = k.clone();
+        out.row.sort();
+        out.col.sort();
+        out
+    }
+
+    #[test]
+    fn distributed_matches_global() {
+        let mesh = Mesh::square(8);
+        let (dist, global) = run(mesh, &[(3, 3), (3, 4), (6, 1)]);
+        for c in mesh.nodes() {
+            assert_eq!(
+                normalized(&dist[c]),
+                normalized(&global[c]),
+                "mismatch at {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn regions_are_bounded_by_blocks() {
+        let mesh = Mesh::new(9, 1);
+        let (dist, _) = run(mesh, &[(4, 0)]);
+        // Left region: x = 0..=3; right region: x = 5..=8.
+        let left: Vec<i32> = {
+            let mut xs: Vec<i32> = dist[Coord::new(1, 0)].row.iter().map(|e| e.0).collect();
+            xs.sort();
+            xs
+        };
+        assert_eq!(left, vec![0, 1, 2, 3]);
+        let right: Vec<i32> = {
+            let mut xs: Vec<i32> = dist[Coord::new(7, 0)].row.iter().map(|e| e.0).collect();
+            xs.sort();
+            xs
+        };
+        assert_eq!(right, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn unaffected_lanes_stay_silent() {
+        // No faults: nothing is exchanged at all, each node keeps only its
+        // own entry (paper §4: only affected rows/columns participate).
+        let mesh = Mesh::new(6, 2);
+        let blocked = Grid::from_fn(mesh, |_| false);
+        let esl = esl_global(&blocked);
+        let (dist, stats) = Engine::new(mesh).run(&RegionExchange::new(blocked, esl));
+        assert_eq!(stats.messages, 0);
+        assert_eq!(dist[Coord::new(2, 0)].row.len(), 1);
+        assert_eq!(dist[Coord::new(2, 0)].col.len(), 1);
+    }
+
+    #[test]
+    fn affected_row_exchanges_fully() {
+        // One fault: its row and column exchange end to end; others do not.
+        let mesh = Mesh::new(7, 5);
+        let (dist, _) = run(mesh, &[(3, 2)]);
+        // On the affected row y=2 the two regions know their full extent.
+        assert_eq!(dist[Coord::new(1, 2)].row.len(), 3); // x = 0..=2
+        assert_eq!(dist[Coord::new(5, 2)].row.len(), 3); // x = 4..=6
+        // On an unaffected row, nodes know only themselves along the row,
+        // but their (affected) column still exchanges.
+        assert_eq!(dist[Coord::new(1, 0)].row.len(), 1);
+        assert_eq!(dist[Coord::new(3, 0)].col.len(), 2); // y = 0..=1
+    }
+
+    #[test]
+    fn message_count_is_linear_in_region_size() {
+        // Two sweeps per axis per region: each open node receives at most
+        // one message per direction per axis, so the total is at most
+        // 4 × (open node count).
+        let mesh = Mesh::square(10);
+        let blocked = Grid::from_fn(mesh, |c| c.x == 5 && c.y < 4);
+        let esl = esl_global(&blocked);
+        let open = blocked.count(|&b| !b) as u64;
+        let (_, stats) = Engine::new(mesh).run(&RegionExchange::new(blocked, esl));
+        assert!(stats.messages <= 4 * open, "{} messages", stats.messages);
+    }
+}

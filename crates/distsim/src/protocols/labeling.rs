@@ -1,0 +1,344 @@
+//! Distributed fault-region labeling (paper §2, Definitions 1 and 2).
+//!
+//! Both node-labeling procedures are local fix-points, so they run
+//! naturally as message-passing protocols: a node's status depends only on
+//! its neighbors' statuses, and every status change is announced to the
+//! neighbors. The engine's quiescence is exactly the definitions'
+//! fix-point; equality with the centralized [`emr_fault::BlockMap`] and
+//! [`emr_fault::MccMap`] is tested here and at workspace level.
+
+use emr_mesh::{Coord, Direction, Grid, Mesh};
+
+use crate::engine::Protocol;
+
+/// A node's status under the distributed Definition 1 labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// Healthy and active.
+    Enabled,
+    /// Failed.
+    Faulty,
+    /// Deactivated by the labeling.
+    Disabled,
+}
+
+/// Distributed Definition 1: every faulty node announces itself; an
+/// enabled node that learns of faulty/disabled neighbors in both
+/// dimensions becomes disabled and announces in turn.
+#[derive(Debug, Clone)]
+pub struct BlockLabeling {
+    faulty: Grid<bool>,
+}
+
+/// The announcement: "I am part of a faulty block".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedMsg;
+
+/// Per-node state: own status plus which neighbor directions are known
+/// blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockState {
+    /// The node's current status.
+    pub status: BlockStatus,
+    known_blocked: [bool; 4],
+}
+
+impl BlockLabeling {
+    /// Creates the protocol from the raw fault map.
+    pub fn new(faulty: Grid<bool>) -> Self {
+        BlockLabeling { faulty }
+    }
+
+    fn announce(mesh: &Mesh, c: Coord) -> Vec<(Coord, BlockedMsg)> {
+        mesh.neighbors(c).map(|n| (n, BlockedMsg)).collect()
+    }
+}
+
+impl Protocol for BlockLabeling {
+    type State = BlockState;
+    type Msg = BlockedMsg;
+
+    fn init(&self, mesh: &Mesh, c: Coord) -> (BlockState, Vec<(Coord, BlockedMsg)>) {
+        if self.faulty[c] {
+            (
+                BlockState {
+                    status: BlockStatus::Faulty,
+                    known_blocked: [false; 4],
+                },
+                Self::announce(mesh, c),
+            )
+        } else {
+            (
+                BlockState {
+                    status: BlockStatus::Enabled,
+                    known_blocked: [false; 4],
+                },
+                Vec::new(),
+            )
+        }
+    }
+
+    fn on_message(
+        &self,
+        mesh: &Mesh,
+        c: Coord,
+        state: &mut BlockState,
+        from: Coord,
+        BlockedMsg: BlockedMsg,
+    ) -> Vec<(Coord, BlockedMsg)> {
+        let dir = c.direction_to(from).expect("neighbor message");
+        state.known_blocked[dir.index()] = true;
+        if state.status != BlockStatus::Enabled {
+            return Vec::new();
+        }
+        let blocked = |d: Direction| state.known_blocked[d.index()];
+        let x = blocked(Direction::East) || blocked(Direction::West);
+        let y = blocked(Direction::North) || blocked(Direction::South);
+        if x && y {
+            state.status = BlockStatus::Disabled;
+            Self::announce(mesh, c)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A node's status under the distributed Definition 2 (type-one) labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MccStatusMsg {
+    /// "I am faulty or useless" (blocks the forward pair).
+    ForwardBlocked,
+    /// "I am faulty or can't-reach" (blocks the backward pair).
+    BackwardBlocked,
+}
+
+/// Per-node state for the MCC labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MccState {
+    /// Faulty or labeled useless.
+    pub useless: bool,
+    /// Faulty or labeled can't-reach.
+    pub cant_reach: bool,
+    /// Genuinely faulty.
+    pub faulty: bool,
+    fwd_blocked: [bool; 4],
+    bwd_blocked: [bool; 4],
+}
+
+impl MccState {
+    /// Whether the node belongs to an MCC.
+    pub fn is_blocked(&self) -> bool {
+        self.faulty || self.useless || self.cant_reach
+    }
+}
+
+/// Distributed Definition 2 for one labeling type: `fwd` are the two
+/// neighbor directions whose blockage makes a node useless (N and E for
+/// type-one), `bwd` the two for can't-reach (S and W for type-one).
+#[derive(Debug, Clone)]
+pub struct MccLabeling {
+    faulty: Grid<bool>,
+    fwd: [Direction; 2],
+    bwd: [Direction; 2],
+}
+
+impl MccLabeling {
+    /// The type-one labeling (quadrant I/III routing).
+    pub fn type_one(faulty: Grid<bool>) -> Self {
+        MccLabeling {
+            faulty,
+            fwd: [Direction::North, Direction::East],
+            bwd: [Direction::South, Direction::West],
+        }
+    }
+
+    /// The type-two labeling (quadrant II/IV routing).
+    pub fn type_two(faulty: Grid<bool>) -> Self {
+        MccLabeling {
+            faulty,
+            fwd: [Direction::North, Direction::West],
+            bwd: [Direction::South, Direction::East],
+        }
+    }
+
+    /// Re-evaluates the two rules at `c`, announcing label changes.
+    fn evaluate(&self, mesh: &Mesh, c: Coord, state: &mut MccState) -> Vec<(Coord, MccStatusMsg)> {
+        let mut sends = Vec::new();
+        if !state.useless
+            && self.fwd.iter().all(|d| state.fwd_blocked[d.index()])
+        {
+            state.useless = true;
+            // Only the opposite-side neighbors consult our forward status,
+            // but announcing to all is harmless and simpler.
+            sends.extend(
+                mesh.neighbors(c)
+                    .map(|n| (n, MccStatusMsg::ForwardBlocked)),
+            );
+        }
+        if !state.cant_reach
+            && self.bwd.iter().all(|d| state.bwd_blocked[d.index()])
+        {
+            state.cant_reach = true;
+            sends.extend(
+                mesh.neighbors(c)
+                    .map(|n| (n, MccStatusMsg::BackwardBlocked)),
+            );
+        }
+        sends
+    }
+}
+
+impl Protocol for MccLabeling {
+    type State = MccState;
+    type Msg = MccStatusMsg;
+
+    fn init(&self, mesh: &Mesh, c: Coord) -> (MccState, Vec<(Coord, MccStatusMsg)>) {
+        let mut state = MccState::default();
+        if self.faulty[c] {
+            state.faulty = true;
+            state.useless = true;
+            state.cant_reach = true;
+            let sends = mesh
+                .neighbors(c)
+                .flat_map(|n| {
+                    [
+                        (n, MccStatusMsg::ForwardBlocked),
+                        (n, MccStatusMsg::BackwardBlocked),
+                    ]
+                })
+                .collect();
+            (state, sends)
+        } else {
+            (state, Vec::new())
+        }
+    }
+
+    fn on_message(
+        &self,
+        mesh: &Mesh,
+        c: Coord,
+        state: &mut MccState,
+        from: Coord,
+        msg: MccStatusMsg,
+    ) -> Vec<(Coord, MccStatusMsg)> {
+        if state.faulty {
+            return Vec::new();
+        }
+        let dir = c.direction_to(from).expect("neighbor message");
+        match msg {
+            MccStatusMsg::ForwardBlocked => state.fwd_blocked[dir.index()] = true,
+            MccStatusMsg::BackwardBlocked => state.bwd_blocked[dir.index()] = true,
+        }
+        self.evaluate(mesh, c, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use emr_fault::{BlockMap, FaultSet, MccMap, MccType, NodeState};
+
+    fn fault_grid(mesh: Mesh, coords: &[(i32, i32)]) -> (Grid<bool>, FaultSet) {
+        let set = FaultSet::from_coords(mesh, coords.iter().map(|&c| Coord::from(c)));
+        (Grid::from_fn(mesh, |c| set.is_faulty(c)), set)
+    }
+
+    #[test]
+    fn distributed_definition_1_matches_blockmap() {
+        let mesh = Mesh::square(12);
+        let patterns: [&[(i32, i32)]; 4] = [
+            &[],
+            &[(5, 5)],
+            &[(3, 3), (4, 4), (8, 2), (2, 8), (9, 9), (8, 8)],
+            &[(1, 1), (1, 2), (1, 3), (2, 3), (3, 3), (3, 2), (3, 1)],
+        ];
+        for coords in patterns {
+            let (grid, set) = fault_grid(mesh, coords);
+            let reference = BlockMap::build(&set);
+            let (dist, _) = Engine::new(mesh).run(&BlockLabeling::new(grid));
+            for c in mesh.nodes() {
+                let expected = match reference.state(c) {
+                    NodeState::Enabled => BlockStatus::Enabled,
+                    NodeState::Faulty => BlockStatus::Faulty,
+                    NodeState::Disabled => BlockStatus::Disabled,
+                };
+                assert_eq!(dist[c].status, expected, "at {c} for {coords:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_definition_2_matches_mccmap() {
+        let mesh = Mesh::square(10);
+        let coords: &[(i32, i32)] = &[
+            (3, 3),
+            (3, 4),
+            (4, 4),
+            (5, 4),
+            (6, 4),
+            (2, 5),
+            (5, 5),
+            (3, 6),
+        ];
+        let (grid, set) = fault_grid(mesh, coords);
+        for (ty, proto) in [
+            (MccType::One, MccLabeling::type_one(grid.clone())),
+            (MccType::Two, MccLabeling::type_two(grid.clone())),
+        ] {
+            let reference = MccMap::build(&set, ty);
+            let (dist, _) = Engine::new(mesh).run(&proto);
+            for c in mesh.nodes() {
+                assert_eq!(
+                    dist[c].is_blocked(),
+                    reference.is_blocked(c),
+                    "{ty:?} at {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_labelings_match_on_random_configs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mesh = Mesh::square(14);
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = emr_fault::inject::uniform(mesh, 18, &[], &mut rng);
+            let grid = Grid::from_fn(mesh, |c| set.is_faulty(c));
+            let reference = BlockMap::build(&set);
+            let (dist, stats) = Engine::new(mesh).run(&BlockLabeling::new(grid.clone()));
+            for c in mesh.nodes() {
+                assert_eq!(
+                    dist[c].status != BlockStatus::Enabled,
+                    reference.is_blocked(c),
+                    "seed {seed} at {c}"
+                );
+            }
+            // Labeling converges fast: bounded by the largest block
+            // perimeter, far under the engine's diameter allowance.
+            assert!(stats.rounds <= 2 * (mesh.width() + mesh.height()) as u32);
+
+            let mcc_ref = MccMap::build(&set, MccType::One);
+            let (dist, _) = Engine::new(mesh).run(&MccLabeling::type_one(grid));
+            for c in mesh.nodes() {
+                assert_eq!(
+                    dist[c].is_blocked(),
+                    mcc_ref.is_blocked(c),
+                    "seed {seed} MCC at {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_faults_no_messages() {
+        let mesh = Mesh::square(6);
+        let grid = Grid::new(mesh, false);
+        let (_, stats) = Engine::new(mesh).run(&BlockLabeling::new(grid.clone()));
+        assert_eq!(stats.messages, 0);
+        let (_, stats) = Engine::new(mesh).run(&MccLabeling::type_one(grid));
+        assert_eq!(stats.messages, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's distributed information protocols.
+//!
+//! Each submodule implements one information flow from §2/§4 of the paper
+//! as a [`crate::Protocol`]:
+//!
+//! * [`esl`] — FORMATION-EXTENDED-SAFETY-LEVEL-INFORMATION: directional
+//!   hop-by-hop propagation of distances to the nearest faulty block,
+//! * [`boundary`] — boundary-line (L1–L4) propagation of faulty-block
+//!   corner information, with bending/joining around other blocks,
+//! * [`exchange`] — extension 2's end-to-end accumulation of safety levels
+//!   within each block-free region of a row/column,
+//! * [`broadcast`] — extension 3's mesh-wide flooding of pivot safety
+//!   levels,
+//! * [`labeling`] — the Definition 1 / Definition 2 node labelings
+//!   themselves, run as neighbor-announcement fix-points.
+//!
+//! All protocols take the already-formed obstacle map as input (the paper
+//! distributes information *"once faulty blocks are constructed"*) and
+//! treat block nodes as non-participants.
+
+pub mod boundary;
+pub mod broadcast;
+pub mod esl;
+pub mod exchange;
+pub mod labeling;
+
+use emr_mesh::Dist;
+
+/// An extended safety level as a plain direction-indexed tuple
+/// `[E, N, W, S]` (indexed by [`emr_mesh::Direction::index`]).
+///
+/// The richer `SafetyLevel` API lives in `emr-core`; the protocols exchange
+/// this raw representation.
+pub type EslTuple = [Dist; 4];
+
+/// The all-unbounded default safety level `(∞, ∞, ∞, ∞)`.
+pub const ESL_DEFAULT: EslTuple = [emr_mesh::UNBOUNDED; 4];

@@ -1,0 +1,460 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use emr_mesh::{Coord, Direction, Grid, Mesh, Rect};
+
+use crate::FaultSet;
+
+/// The status of a node under the faulty-block model (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeState {
+    /// A healthy, usable node (the paper's *enabled*).
+    Enabled,
+    /// A failed node.
+    Faulty,
+    /// A healthy node deactivated because it has faulty/disabled neighbors
+    /// in both dimensions.
+    Disabled,
+}
+
+impl NodeState {
+    /// Whether the node belongs to a faulty block (faulty or disabled).
+    pub fn is_blocked(self) -> bool {
+        !matches!(self, NodeState::Enabled)
+    }
+}
+
+/// One faulty block: a maximal connected component of faulty and disabled
+/// nodes. Under Definition 1 every component converges to a full rectangle;
+/// [`BlockMap::build`] asserts this invariant in debug builds and the test
+/// suite property-checks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultyBlock {
+    rect: Rect,
+    faulty_nodes: usize,
+    disabled_nodes: usize,
+}
+
+impl FaultyBlock {
+    /// The rectangle `[x_min:x_max, y_min:y_max]` covered by the block.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The number of genuinely faulty nodes inside the block.
+    pub fn faulty_nodes(&self) -> usize {
+        self.faulty_nodes
+    }
+
+    /// The number of healthy-but-disabled nodes inside the block
+    /// (the quantity plotted in the paper's Figure 8).
+    pub fn disabled_nodes(&self) -> usize {
+        self.disabled_nodes
+    }
+}
+
+/// The faulty-block decomposition of a mesh: per-node states plus the list
+/// of disjoint rectangular blocks.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Mesh};
+/// use emr_fault::{BlockMap, FaultSet, NodeState};
+///
+/// // Two diagonal faults close into a 2×2 block.
+/// let mesh = Mesh::square(5);
+/// let faults = FaultSet::from_coords(mesh, [Coord::new(1, 1), Coord::new(2, 2)]);
+/// let map = BlockMap::build(&faults);
+/// assert_eq!(map.state(Coord::new(1, 2)), NodeState::Disabled);
+/// assert_eq!(map.blocks().len(), 1);
+/// assert_eq!(map.blocks()[0].rect().node_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMap {
+    mesh: Mesh,
+    state: Grid<NodeState>,
+    blocks: Vec<FaultyBlock>,
+}
+
+impl BlockMap {
+    /// Runs Definition 1 to its fix-point and extracts the blocks.
+    ///
+    /// A non-faulty node is disabled when it has at least one faulty or
+    /// disabled neighbor along X *and* one along Y ("two or more disabled or
+    /// faulty neighbors in different dimensions"). Off-mesh positions count
+    /// as healthy.
+    pub fn build(faults: &FaultSet) -> BlockMap {
+        let mesh = faults.mesh();
+        let mut state = Grid::from_fn(mesh, |c| {
+            if faults.is_faulty(c) {
+                NodeState::Faulty
+            } else {
+                NodeState::Enabled
+            }
+        });
+
+        // Worklist fix-point: whenever a node turns faulty/disabled its
+        // enabled neighbors become candidates.
+        let mut queue: VecDeque<Coord> = faults
+            .iter()
+            .flat_map(|f| mesh.neighbors(f))
+            .collect();
+        while let Some(u) = queue.pop_front() {
+            if state[u] != NodeState::Enabled {
+                continue;
+            }
+            let blocked = |c: Coord| state.get(c).is_some_and(|s| s.is_blocked());
+            let x_blocked =
+                blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
+            let y_blocked =
+                blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
+            if x_blocked && y_blocked {
+                state[u] = NodeState::Disabled;
+                queue.extend(mesh.neighbors(u));
+            }
+        }
+
+        let blocks = extract_blocks(mesh, &state);
+        let map = BlockMap {
+            mesh,
+            state,
+            blocks,
+        };
+        debug_assert!(map.rect_invariant_holds());
+        map
+    }
+
+    /// The mesh this decomposition covers.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The status of node `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn state(&self, c: Coord) -> NodeState {
+        self.state[c]
+    }
+
+    /// Whether `c` is part of a faulty block. Off-mesh positions are not.
+    pub fn is_blocked(&self, c: Coord) -> bool {
+        self.state.get(c).is_some_and(|s| s.is_blocked())
+    }
+
+    /// The disjoint rectangular blocks, in discovery (row-major) order.
+    pub fn blocks(&self) -> &[FaultyBlock] {
+        &self.blocks
+    }
+
+    /// The block rectangles only (the representation routing code consumes).
+    pub fn rects(&self) -> Vec<Rect> {
+        self.blocks.iter().map(|b| b.rect()).collect()
+    }
+
+    /// The block containing `c`, if any.
+    pub fn block_containing(&self, c: Coord) -> Option<&FaultyBlock> {
+        self.blocks.iter().find(|b| b.rect().contains(c))
+    }
+
+    /// The total number of disabled (healthy but deactivated) nodes.
+    pub fn disabled_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.disabled_nodes()).sum()
+    }
+
+    /// Incrementally records a newly failed node, updating the labeling
+    /// and block list without rebuilding the whole decomposition — the
+    /// paper's §1 information-model claim ("when a disturbance occurs,
+    /// only those affected nodes update their information").
+    ///
+    /// The cost is proportional to the affected region: the relabeling
+    /// worklist plus one BFS over the (possibly merged) block containing
+    /// the new fault. Equivalence with a full rebuild is property-tested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn insert_fault(&mut self, c: Coord) {
+        assert!(self.mesh.contains(c), "fault {c} outside mesh");
+        if self.state[c] == NodeState::Faulty {
+            return;
+        }
+        self.state[c] = NodeState::Faulty;
+
+        // Re-run the Definition 1 worklist from the disturbance.
+        let mut queue: VecDeque<Coord> = self.mesh.neighbors(c).collect();
+        while let Some(u) = queue.pop_front() {
+            if self.state[u] != NodeState::Enabled {
+                continue;
+            }
+            let blocked = |v: Coord| self.state.get(v).is_some_and(|s| s.is_blocked());
+            let x_blocked =
+                blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
+            let y_blocked =
+                blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
+            if x_blocked && y_blocked {
+                self.state[u] = NodeState::Disabled;
+                queue.extend(self.mesh.neighbors(u));
+            }
+        }
+
+        // The new/merged component containing the fault.
+        let mut rect = Rect::point(c);
+        let mut faulty_nodes = 0;
+        let mut disabled_nodes = 0;
+        let mut visited = std::collections::HashSet::from([c]);
+        let mut queue = VecDeque::from([c]);
+        while let Some(u) = queue.pop_front() {
+            rect = rect.expanded_to(u);
+            match self.state[u] {
+                NodeState::Faulty => faulty_nodes += 1,
+                NodeState::Disabled => disabled_nodes += 1,
+                NodeState::Enabled => unreachable!("enabled node in component"),
+            }
+            for v in self.mesh.neighbors(u) {
+                if self.state[v].is_blocked() && visited.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Absorb the blocks the new component swallowed (by the rectangle
+        // invariant, rect intersection ⟺ absorption).
+        self.blocks.retain(|b| !b.rect().intersects(&rect));
+        self.blocks.push(FaultyBlock {
+            rect,
+            faulty_nodes,
+            disabled_nodes,
+        });
+        debug_assert!(self.rect_invariant_holds());
+    }
+
+    /// Checks the paper's structural claim: each connected component of
+    /// faulty∪disabled nodes fills its bounding rectangle, which also makes
+    /// the blocks pairwise disjoint.
+    pub fn rect_invariant_holds(&self) -> bool {
+        self.blocks.iter().all(|b| {
+            b.rect()
+                .iter()
+                .all(|c| self.mesh.contains(c) && self.state[c].is_blocked())
+        }) && {
+            let total_blocked = self.state.count(|s| s.is_blocked());
+            let in_rects: usize = self.blocks.iter().map(|b| b.rect().node_count()).sum();
+            total_blocked == in_rects
+        }
+    }
+}
+
+fn extract_blocks(mesh: Mesh, state: &Grid<NodeState>) -> Vec<FaultyBlock> {
+    let mut visited = Grid::new(mesh, false);
+    let mut blocks = Vec::new();
+    for start in mesh.nodes() {
+        if visited[start] || !state[start].is_blocked() {
+            continue;
+        }
+        // BFS over the component, tracking the bounding box and node kinds.
+        let mut rect = Rect::point(start);
+        let mut faulty_nodes = 0;
+        let mut disabled_nodes = 0;
+        let mut queue = VecDeque::from([start]);
+        visited[start] = true;
+        while let Some(u) = queue.pop_front() {
+            rect = rect.expanded_to(u);
+            match state[u] {
+                NodeState::Faulty => faulty_nodes += 1,
+                NodeState::Disabled => disabled_nodes += 1,
+                NodeState::Enabled => unreachable!("enabled node in component"),
+            }
+            for v in mesh.neighbors(u) {
+                if !visited[v] && state[v].is_blocked() {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        blocks.push(FaultyBlock {
+            rect,
+            faulty_nodes,
+            disabled_nodes,
+        });
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(mesh: Mesh, coords: &[(i32, i32)]) -> BlockMap {
+        let faults = FaultSet::from_coords(mesh, coords.iter().map(|&c| Coord::from(c)));
+        BlockMap::build(&faults)
+    }
+
+    #[test]
+    fn paper_figure_1a_block() {
+        // Eight faults of Figure 1(a) form the rectangle [2:6, 3:6].
+        let map = build(
+            Mesh::square(10),
+            &[
+                (3, 3),
+                (3, 4),
+                (4, 4),
+                (5, 4),
+                (6, 4),
+                (2, 5),
+                (5, 5),
+                (3, 6),
+            ],
+        );
+        assert_eq!(map.blocks().len(), 1);
+        let b = map.blocks()[0];
+        assert_eq!(b.rect(), Rect::new(2, 6, 3, 6));
+        assert_eq!(b.faulty_nodes(), 8);
+        assert_eq!(b.disabled_nodes(), 20 - 8);
+        assert!(map.rect_invariant_holds());
+    }
+
+    #[test]
+    fn isolated_fault_is_a_unit_block() {
+        let map = build(Mesh::square(5), &[(2, 2)]);
+        assert_eq!(map.blocks().len(), 1);
+        assert_eq!(map.blocks()[0].rect(), Rect::new(2, 2, 2, 2));
+        assert_eq!(map.blocks()[0].disabled_nodes(), 0);
+        assert_eq!(map.state(Coord::new(2, 3)), NodeState::Enabled);
+    }
+
+    #[test]
+    fn diagonal_faults_close_into_square() {
+        let map = build(Mesh::square(5), &[(1, 1), (2, 2)]);
+        assert_eq!(map.blocks().len(), 1);
+        assert_eq!(map.blocks()[0].rect(), Rect::new(1, 2, 1, 2));
+        assert_eq!(map.state(Coord::new(1, 2)), NodeState::Disabled);
+        assert_eq!(map.state(Coord::new(2, 1)), NodeState::Disabled);
+    }
+
+    #[test]
+    fn same_dimension_neighbors_do_not_disable() {
+        // Two faults flanking a node in the same dimension leave it enabled.
+        let map = build(Mesh::square(5), &[(1, 2), (3, 2)]);
+        assert_eq!(map.state(Coord::new(2, 2)), NodeState::Enabled);
+        assert_eq!(map.blocks().len(), 2);
+    }
+
+    #[test]
+    fn u_shape_cavity_fills() {
+        // A U of faults; the cavity nodes must be disabled transitively.
+        let map = build(
+            Mesh::square(6),
+            &[(1, 1), (1, 2), (1, 3), (2, 3), (3, 3), (3, 2), (3, 1)],
+        );
+        assert_eq!(map.blocks().len(), 1);
+        assert_eq!(map.blocks()[0].rect(), Rect::new(1, 3, 1, 3));
+        assert_eq!(map.state(Coord::new(2, 1)), NodeState::Disabled);
+        assert_eq!(map.state(Coord::new(2, 2)), NodeState::Disabled);
+    }
+
+    #[test]
+    fn corner_of_mesh_uses_existing_neighbors_only() {
+        // Faults at (1,0) and (0,1) disable the mesh corner (0,0).
+        let map = build(Mesh::square(4), &[(1, 0), (0, 1)]);
+        assert_eq!(map.state(Coord::new(0, 0)), NodeState::Disabled);
+        assert_eq!(map.blocks().len(), 1);
+        assert_eq!(map.blocks()[0].rect(), Rect::new(0, 1, 0, 1));
+    }
+
+    #[test]
+    fn no_faults_no_blocks() {
+        let map = BlockMap::build(&FaultSet::new(Mesh::square(4)));
+        assert!(map.blocks().is_empty());
+        assert_eq!(map.disabled_count(), 0);
+        assert!(map.rect_invariant_holds());
+    }
+
+    #[test]
+    fn block_containing_lookup() {
+        let map = build(Mesh::square(5), &[(1, 1), (2, 2)]);
+        assert!(map.block_containing(Coord::new(2, 1)).is_some());
+        assert!(map.block_containing(Coord::new(4, 4)).is_none());
+    }
+
+    #[test]
+    fn is_blocked_off_mesh_is_false() {
+        let map = build(Mesh::square(3), &[(0, 0)]);
+        assert!(!map.is_blocked(Coord::new(-1, 0)));
+        assert!(map.is_blocked(Coord::new(0, 0)));
+    }
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mesh = Mesh::square(12);
+        // A fault sequence that grows, merges and converts disabled nodes.
+        let sequence = [
+            (3, 3),
+            (4, 4),
+            (8, 8),
+            (8, 7),
+            (5, 5),
+            (6, 6),
+            (7, 7), // bridges the two clusters
+            (4, 3), // already-disabled node fails for real
+            (0, 0),
+        ];
+        let mut incremental = BlockMap::build(&FaultSet::new(mesh));
+        let mut all = Vec::new();
+        for &(x, y) in &sequence {
+            let c = Coord::new(x, y);
+            all.push(c);
+            incremental.insert_fault(c);
+            let rebuilt = BlockMap::build(&FaultSet::from_coords(mesh, all.iter().copied()));
+            // Same states everywhere…
+            for n in mesh.nodes() {
+                assert_eq!(incremental.state(n), rebuilt.state(n), "after {c} at {n}");
+            }
+            // …and the same block set (order-insensitive).
+            let mut a = incremental.rects();
+            let mut b = rebuilt.rects();
+            a.sort_by_key(|r| (r.x_min(), r.y_min()));
+            b.sort_by_key(|r| (r.x_min(), r.y_min()));
+            assert_eq!(a, b, "after {c}");
+            assert_eq!(
+                incremental.disabled_count(),
+                rebuilt.disabled_count(),
+                "after {c}"
+            );
+            assert!(incremental.rect_invariant_holds());
+        }
+    }
+
+    #[test]
+    fn incremental_insert_is_idempotent() {
+        let mesh = Mesh::square(6);
+        let mut map = BlockMap::build(&FaultSet::new(mesh));
+        map.insert_fault(Coord::new(2, 2));
+        map.insert_fault(Coord::new(2, 2));
+        assert_eq!(map.blocks().len(), 1);
+        assert_eq!(map.blocks()[0].faulty_nodes(), 1);
+    }
+
+    #[test]
+    fn random_incremental_sequences_match_rebuild() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mesh = Mesh::square(16);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut incremental = BlockMap::build(&FaultSet::new(mesh));
+            let mut all = Vec::new();
+            for _ in 0..25 {
+                let c = Coord::new(rng.gen_range(0..16), rng.gen_range(0..16));
+                all.push(c);
+                incremental.insert_fault(c);
+            }
+            let rebuilt = BlockMap::build(&FaultSet::from_coords(mesh, all.iter().copied()));
+            for n in mesh.nodes() {
+                assert_eq!(incremental.state(n), rebuilt.state(n), "seed {seed} at {n}");
+            }
+            assert_eq!(incremental.blocks().len(), rebuilt.blocks().len(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Wang's necessary-and-sufficient condition for minimal-path existence.
+//!
+//! A minimal route from `s` to `d` exists **iff** no sequence of blocks
+//! *covers* `s` and `d` on `x` and none covers them on `y` (Wang, cited in
+//! §2 of the paper). This is the global-information baseline: evaluating
+//! it requires knowing every block in the mesh, which is exactly what the
+//! paper's limited-information conditions avoid.
+//!
+//! Blocks are given as rectangles in absolute coordinates; the condition is
+//! evaluated in the normalized frame (destination in quadrant I of the
+//! source). With the rectangular faulty-block model this is property-tested
+//! equivalent to the [`crate::reach`] oracle.
+
+use emr_mesh::{Coord, Frame, Rect};
+
+/// Whether a sequence of blocks covers `s` and `d` on **y** (a staircase
+/// barrier from the source's column to the destination's column that no
+/// monotone path can cross).
+///
+/// In the normalized frame with `s` at the origin and `d = (xd, yd)`,
+/// a sequence `1..k` covers on y when
+/// * block `i+1` covers block `i` on y: `y(i+1)_min > y(i)_max` and
+///   `x(i+1)_min ≤ x(i)_max + 1`,
+/// * block 1 straddles the source column (`x(1)_min ≤ 0`) above the source
+///   (`y(1)_min ≥ 1`), and
+/// * block k reaches the destination column (`x(k)_max ≥ xd`) below the
+///   destination (`y(k)_max < yd`).
+///
+/// This is the paper's condition with two precise adjustments derived from
+/// the barrier argument (and property-tested equivalent to the
+/// [`crate::reach`] oracle over model-generated blocks): the covering link
+/// uses `x(i+1)_min ≤ x(i)_max + 1` — a block starting exactly one column
+/// east of the previous block's edge still bars the squeeze-through column —
+/// and the terminal block only needs `x(k)_max ≥ xd` (a terminal block with
+/// `x(k)_min > xd` implies the previous block already terminated a barrier).
+pub fn covers_on_y(blocks: &[Rect], s: Coord, d: Coord) -> bool {
+    let frame = Frame::normalizing(s, d);
+    let rel: Vec<Rect> = blocks.iter().map(|b| frame.rect_to_rel(b)).collect();
+    let rd = frame.to_rel(d);
+    covers_on_y_rel(&rel, rd)
+}
+
+/// Whether a sequence of blocks covers `s` and `d` on **x** (the symmetric
+/// condition with the roles of x and y exchanged).
+pub fn covers_on_x(blocks: &[Rect], s: Coord, d: Coord) -> bool {
+    let frame = Frame::normalizing(s, d);
+    // Exchange the roles of x and y by transposing every rectangle and the
+    // destination, then reuse the y-covering search.
+    let rel: Vec<Rect> = blocks
+        .iter()
+        .map(|b| transpose(frame.rect_to_rel(b)))
+        .collect();
+    let rd = frame.to_rel(d);
+    covers_on_y_rel(&rel, Coord::new(rd.y, rd.x))
+}
+
+/// Wang's condition: a minimal route from `s` to `d` exists iff no covering
+/// sequence exists on either axis.
+///
+/// The caller is responsible for `s` and `d` lying outside every block
+/// (the paper's standing assumption for sources and destinations).
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Rect};
+/// use emr_fault::coverage::minimal_path_exists_by_coverage;
+///
+/// // A single block strictly between s and d never covers them.
+/// let blocks = [Rect::new(2, 3, 2, 3)];
+/// assert!(minimal_path_exists_by_coverage(
+///     &blocks,
+///     Coord::new(0, 0),
+///     Coord::new(6, 6)
+/// ));
+/// // A wide wall straddling both columns does.
+/// let wall = [Rect::new(-2, 8, 2, 3)];
+/// assert!(!minimal_path_exists_by_coverage(
+///     &wall,
+///     Coord::new(0, 0),
+///     Coord::new(6, 6)
+/// ));
+/// ```
+pub fn minimal_path_exists_by_coverage(blocks: &[Rect], s: Coord, d: Coord) -> bool {
+    !covers_on_y(blocks, s, d) && !covers_on_x(blocks, s, d)
+}
+
+fn transpose(r: Rect) -> Rect {
+    Rect::new(r.y_min(), r.y_max(), r.x_min(), r.x_max())
+}
+
+/// DFS over the "covers on y" relation in the normalized frame.
+fn covers_on_y_rel(blocks: &[Rect], d: Coord) -> bool {
+    // Start blocks: straddle column 0 above the source.
+    // Accept blocks: straddle column xd below the destination.
+    let starts = |b: &Rect| b.x_min() <= 0 && b.y_min() > 0;
+    let accepts = |b: &Rect| b.x_max() >= d.x && b.y_max() < d.y;
+    let covers =
+        |next: &Rect, prev: &Rect| next.y_min() > prev.y_max() && next.x_min() <= prev.x_max() + 1;
+
+    let mut stack: Vec<usize> = (0..blocks.len()).filter(|&i| starts(&blocks[i])).collect();
+    let mut visited = vec![false; blocks.len()];
+    for &i in &stack {
+        visited[i] = true;
+    }
+    while let Some(i) = stack.pop() {
+        if accepts(&blocks[i]) {
+            return true;
+        }
+        for j in 0..blocks.len() {
+            if !visited[j] && covers(&blocks[j], &blocks[i]) {
+                visited[j] = true;
+                stack.push(j);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_list_never_covers() {
+        assert!(minimal_path_exists_by_coverage(
+            &[],
+            Coord::ORIGIN,
+            Coord::new(5, 5)
+        ));
+    }
+
+    #[test]
+    fn single_block_wall_on_y() {
+        // Figure 4(a) in miniature: one block straddling both columns.
+        let blocks = [Rect::new(-1, 6, 2, 2)];
+        let d = Coord::new(5, 5);
+        assert!(covers_on_y(&blocks, Coord::ORIGIN, d));
+        assert!(!covers_on_x(&blocks, Coord::ORIGIN, d));
+        assert!(!minimal_path_exists_by_coverage(&blocks, Coord::ORIGIN, d));
+    }
+
+    #[test]
+    fn two_block_staircase_covers_on_y() {
+        // Block 1 over the source column, block 2 higher and shifted east,
+        // overlapping block 1's x_max, reaching the destination column.
+        let blocks = [Rect::new(-2, 2, 1, 2), Rect::new(1, 6, 4, 5)];
+        let d = Coord::new(6, 8);
+        assert!(covers_on_y(&blocks, Coord::ORIGIN, d));
+        assert!(!minimal_path_exists_by_coverage(&blocks, Coord::ORIGIN, d));
+    }
+
+    #[test]
+    fn gap_in_staircase_does_not_cover() {
+        // Same two blocks but block 2 starts east of block 1's x_max + 1,
+        // leaving a column to slip through.
+        let blocks = [Rect::new(-2, 2, 1, 2), Rect::new(4, 6, 4, 5)];
+        let d = Coord::new(6, 8);
+        assert!(!covers_on_y(&blocks, Coord::ORIGIN, d));
+        assert!(minimal_path_exists_by_coverage(&blocks, Coord::ORIGIN, d));
+    }
+
+    #[test]
+    fn covering_on_x_detected_symmetrically() {
+        // A wall of blocks to the east covering rows 0..yd.
+        let blocks = [Rect::new(2, 2, -1, 6)];
+        let d = Coord::new(5, 5);
+        assert!(covers_on_x(&blocks, Coord::ORIGIN, d));
+        assert!(!covers_on_y(&blocks, Coord::ORIGIN, d));
+    }
+
+    #[test]
+    fn block_below_source_is_irrelevant() {
+        let blocks = [Rect::new(-1, 6, -3, -1)];
+        assert!(minimal_path_exists_by_coverage(
+            &blocks,
+            Coord::ORIGIN,
+            Coord::new(5, 5)
+        ));
+    }
+
+    #[test]
+    fn block_above_destination_is_irrelevant() {
+        let blocks = [Rect::new(-1, 6, 7, 9)];
+        assert!(minimal_path_exists_by_coverage(
+            &blocks,
+            Coord::ORIGIN,
+            Coord::new(5, 5)
+        ));
+    }
+
+    #[test]
+    fn normalization_handles_all_quadrants() {
+        let s = Coord::new(10, 10);
+        // A wall north of s blocking quadrant II destinations on y.
+        let blocks = [Rect::new(2, 12, 13, 13)];
+        let d2 = Coord::new(4, 16);
+        assert!(!minimal_path_exists_by_coverage(&blocks, s, d2));
+        // The same wall does not block a quadrant IV destination.
+        let d4 = Coord::new(16, 4);
+        assert!(minimal_path_exists_by_coverage(&blocks, s, d4));
+    }
+
+    #[test]
+    fn chain_must_be_strictly_increasing_in_y() {
+        // The second block overlaps the first's row band, so they do not
+        // chain on y, and a path slips through the x-gap at column 3.
+        let blocks = [Rect::new(-2, 2, 1, 3), Rect::new(4, 6, 3, 5)];
+        let d = Coord::new(6, 8);
+        assert!(!covers_on_y(&blocks, Coord::ORIGIN, d));
+        assert!(minimal_path_exists_by_coverage(&blocks, Coord::ORIGIN, d));
+    }
+
+    #[test]
+    fn adjacent_column_link_still_covers() {
+        // Block 2 starts exactly one column east of block 1's edge: the
+        // only squeeze-through column is barred, so the pair covers on y.
+        let blocks = [Rect::new(-2, 2, 1, 2), Rect::new(3, 6, 4, 5)];
+        let d = Coord::new(6, 8);
+        assert!(covers_on_y(&blocks, Coord::ORIGIN, d));
+        assert!(!minimal_path_exists_by_coverage(&blocks, Coord::ORIGIN, d));
+    }
+}

@@ -1,0 +1,145 @@
+use serde::{Deserialize, Serialize};
+
+use emr_mesh::{Coord, Grid, Mesh};
+
+/// A set of faulty nodes in a mesh.
+///
+/// Keeps both a dense membership grid (for O(1) queries during labeling)
+/// and the fault list in insertion order (for deterministic iteration).
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Mesh};
+/// use emr_fault::FaultSet;
+///
+/// let mesh = Mesh::square(4);
+/// let faults = FaultSet::from_coords(mesh, [Coord::new(1, 1), Coord::new(2, 2)]);
+/// assert_eq!(faults.len(), 2);
+/// assert!(faults.is_faulty(Coord::new(1, 1)));
+/// assert!(!faults.is_faulty(Coord::new(0, 0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    mesh: Mesh,
+    faulty: Grid<bool>,
+    list: Vec<Coord>,
+}
+
+impl FaultSet {
+    /// Creates an empty fault set over `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        FaultSet {
+            mesh,
+            faulty: Grid::new(mesh, false),
+            list: Vec::new(),
+        }
+    }
+
+    /// Creates a fault set from explicit coordinates; duplicates are kept
+    /// once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate lies outside the mesh.
+    pub fn from_coords(mesh: Mesh, coords: impl IntoIterator<Item = Coord>) -> Self {
+        let mut set = FaultSet::new(mesh);
+        for c in coords {
+            set.insert(c);
+        }
+        set
+    }
+
+    /// The mesh the faults live in.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Marks `c` faulty; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn insert(&mut self, c: Coord) -> bool {
+        assert!(self.mesh.contains(c), "fault {c} outside mesh");
+        if self.faulty[c] {
+            return false;
+        }
+        self.faulty[c] = true;
+        self.list.push(c);
+        true
+    }
+
+    /// Whether `c` is faulty. Coordinates outside the mesh are never faulty.
+    pub fn is_faulty(&self, c: Coord) -> bool {
+        self.faulty.get(c).copied().unwrap_or(false)
+    }
+
+    /// The number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether there are no faults.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Iterates over the faulty nodes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.list.iter().copied()
+    }
+}
+
+impl Extend<Coord> for FaultSet {
+    fn extend<I: IntoIterator<Item = Coord>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedupes() {
+        let mesh = Mesh::square(3);
+        let mut set = FaultSet::new(mesh);
+        assert!(set.insert(Coord::new(1, 1)));
+        assert!(!set.insert(Coord::new(1, 1)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn out_of_mesh_fault_panics() {
+        let mut set = FaultSet::new(Mesh::square(2));
+        set.insert(Coord::new(5, 0));
+    }
+
+    #[test]
+    fn off_mesh_is_never_faulty() {
+        let set = FaultSet::new(Mesh::square(2));
+        assert!(!set.is_faulty(Coord::new(-1, 0)));
+        assert!(!set.is_faulty(Coord::new(2, 0)));
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mesh = Mesh::square(4);
+        let coords = [Coord::new(3, 3), Coord::new(0, 0), Coord::new(2, 1)];
+        let set = FaultSet::from_coords(mesh, coords);
+        let seen: Vec<Coord> = set.iter().collect();
+        assert_eq!(seen, coords);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut set = FaultSet::new(Mesh::square(4));
+        set.extend([Coord::new(0, 0), Coord::new(1, 1)]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Random fault injection.
+//!
+//! The paper's evaluation uses up to 200 faults placed uniformly at random
+//! (without repetition) in a 200×200 mesh. [`uniform`] reproduces that
+//! process; [`clustered`] generates spatially correlated faults for the
+//! ablation benchmarks (clustered faults produce larger blocks, stressing
+//! the block-formation and safety machinery harder than the paper's
+//! scattered faults do).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use emr_mesh::{Coord, Mesh};
+
+use crate::FaultSet;
+
+/// Draws `count` distinct faulty nodes uniformly at random, never using a
+/// node in `forbidden` (typically the source, which the paper assumes to be
+/// outside every faulty block).
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the number of eligible nodes.
+pub fn uniform(
+    mesh: Mesh,
+    count: usize,
+    forbidden: &[Coord],
+    rng: &mut impl Rng,
+) -> FaultSet {
+    let eligible: Vec<Coord> = mesh
+        .nodes()
+        .filter(|c| !forbidden.contains(c))
+        .collect();
+    assert!(
+        count <= eligible.len(),
+        "cannot place {count} faults among {} eligible nodes",
+        eligible.len()
+    );
+    let chosen = eligible.choose_multiple(rng, count).copied();
+    FaultSet::from_coords(mesh, chosen)
+}
+
+/// Draws `count` distinct faults clustered around `centers` random cluster
+/// centers: each fault picks a center and scatters around it with
+/// geometric tail `spread` (larger spread ⇒ looser clusters). Used by the
+/// ablation benches; not part of the paper's evaluation.
+///
+/// # Panics
+///
+/// Panics if `centers` is zero or `count` exceeds the number of eligible
+/// nodes.
+pub fn clustered(
+    mesh: Mesh,
+    count: usize,
+    centers: usize,
+    spread: f64,
+    forbidden: &[Coord],
+    rng: &mut impl Rng,
+) -> FaultSet {
+    assert!(centers > 0, "need at least one cluster center");
+    let eligible = mesh.node_count().saturating_sub(forbidden.len());
+    assert!(
+        count <= eligible,
+        "cannot place {count} faults among {eligible} eligible nodes"
+    );
+    let hubs: Vec<Coord> = (0..centers)
+        .map(|_| {
+            Coord::new(
+                rng.gen_range(0..mesh.width()),
+                rng.gen_range(0..mesh.height()),
+            )
+        })
+        .collect();
+    let mut set = FaultSet::new(mesh);
+    let mut placed = 0;
+    while placed < count {
+        let hub = hubs[rng.gen_range(0..hubs.len())];
+        let dx = sample_offset(spread, rng);
+        let dy = sample_offset(spread, rng);
+        let c = Coord::new(hub.x + dx, hub.y + dy);
+        if mesh.contains(c) && !forbidden.contains(&c) && set.insert(c) {
+            placed += 1;
+        }
+    }
+    set
+}
+
+/// A symmetric geometric-tailed integer offset with scale `spread`.
+fn sample_offset(spread: f64, rng: &mut impl Rng) -> i32 {
+    let mut mag = 0;
+    let p = 1.0 / (1.0 + spread.max(0.0));
+    while !rng.gen_bool(p) {
+        mag += 1;
+        if mag > 10_000 {
+            break; // Defensive bound; unreachable for sane spreads.
+        }
+    }
+    if rng.gen_bool(0.5) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_places_exact_count_of_distinct_faults() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mesh = Mesh::square(20);
+        let set = uniform(mesh, 50, &[], &mut rng);
+        assert_eq!(set.len(), 50);
+        // Distinctness is guaranteed by FaultSet, but double-check via iter.
+        let mut coords: Vec<Coord> = set.iter().collect();
+        coords.sort();
+        coords.dedup();
+        assert_eq!(coords.len(), 50);
+    }
+
+    #[test]
+    fn uniform_respects_forbidden_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mesh = Mesh::square(4);
+        let center = mesh.center();
+        for _ in 0..20 {
+            let set = uniform(mesh, 15, &[center], &mut rng);
+            assert!(!set.is_faulty(center));
+        }
+    }
+
+    #[test]
+    fn uniform_can_fill_every_eligible_node() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mesh = Mesh::square(3);
+        let set = uniform(mesh, 8, &[mesh.center()], &mut rng);
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn uniform_rejects_oversized_requests() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform(Mesh::square(2), 5, &[], &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mesh = Mesh::square(30);
+        let a = uniform(mesh, 40, &[], &mut StdRng::seed_from_u64(42));
+        let b = uniform(mesh, 40, &[], &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_places_exact_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mesh = Mesh::square(40);
+        let set = clustered(mesh, 60, 3, 2.0, &[mesh.center()], &mut rng);
+        assert_eq!(set.len(), 60);
+        assert!(!set.is_faulty(mesh.center()));
+    }
+
+    #[test]
+    fn clustered_is_more_compact_than_uniform() {
+        // Average pairwise distance should be clearly smaller for tight
+        // clusters than for uniform placement on a large mesh.
+        let mesh = Mesh::square(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tight = clustered(mesh, 40, 2, 1.5, &[], &mut rng);
+        let loose = uniform(mesh, 40, &[], &mut rng);
+        let avg = |s: &FaultSet| {
+            let v: Vec<Coord> = s.iter().collect();
+            let mut total = 0u64;
+            let mut pairs = 0u64;
+            for i in 0..v.len() {
+                for j in (i + 1)..v.len() {
+                    total += u64::from(v[i].manhattan(v[j]));
+                    pairs += 1;
+                }
+            }
+            total as f64 / pairs as f64
+        };
+        assert!(avg(&tight) < avg(&loose) / 2.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the fault substrate.
+//!
+//! These pin the paper's structural and semantic claims on randomized fault
+//! configurations:
+//!
+//! * Definition 1 components fill their bounding rectangles (so blocks are
+//!   disjoint rectangles),
+//! * the MCC labeling is *exact* for minimal routing: a minimal path avoiding
+//!   faulty nodes exists iff one avoiding the (larger) MCC node set exists,
+//! * Wang's coverage condition on block rectangles agrees with the
+//!   monotone-reachability oracle,
+//! * constructed minimal paths are valid whenever existence is claimed.
+
+use proptest::prelude::*;
+
+use emr_fault::{coverage, inject, reach, BlockMap, FaultSet, MccMap, MccType};
+use emr_mesh::{Coord, Mesh, Quadrant};
+
+/// A random fault configuration on a small mesh, plus a source/destination
+/// pair drawn from anywhere in the mesh.
+/// One generated case: mesh, fault coordinates, source, destination.
+type Case = (Mesh, Vec<(i32, i32)>, (i32, i32), (i32, i32));
+
+fn config() -> impl Strategy<Value = Case> {
+    (6i32..=14, 0usize..=18).prop_flat_map(|(n, k)| {
+        let cell = 0..n;
+        (
+            Just(Mesh::square(n)),
+            proptest::collection::vec((cell.clone(), cell.clone()), k),
+            (cell.clone(), cell.clone()),
+            (cell.clone(), cell),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn blocks_fill_their_rectangles((mesh, faults, _, _) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+        let map = BlockMap::build(&set);
+        prop_assert!(map.rect_invariant_holds());
+        // Disjointness follows from the invariant, but check directly too.
+        let rects = map.rects();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.intersects(b), "blocks {a} and {b} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn mcc_is_contained_in_blocks((mesh, faults, _, _) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+        let blocks = BlockMap::build(&set);
+        for ty in MccType::ALL {
+            let mcc = MccMap::build(&set, ty);
+            for c in mesh.nodes() {
+                if mcc.is_blocked(c) {
+                    prop_assert!(blocks.is_blocked(c));
+                }
+            }
+        }
+    }
+
+    /// The MCC labeling is exact: avoiding MCC nodes costs nothing relative
+    /// to avoiding only the faulty nodes, for sources/destinations with
+    /// fault-free MCC status (the paper's standing assumption).
+    #[test]
+    fn mcc_labeling_is_exact((mesh, faults, s, d) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        let ty = MccType::for_route(s, d);
+        let mcc = MccMap::build(&set, ty);
+        prop_assume!(!mcc.is_blocked(s) && !mcc.is_blocked(d));
+        let via_faulty = reach::minimal_path_exists(&mesh, s, d, |c| set.is_faulty(c));
+        let via_mcc = reach::minimal_path_exists(&mesh, s, d, |c| mcc.is_blocked(c));
+        prop_assert_eq!(via_faulty, via_mcc);
+    }
+
+    /// Wang's necessary-and-sufficient condition on block rectangles agrees
+    /// with the exact oracle on the block-node obstacle set.
+    #[test]
+    fn wang_coverage_matches_oracle((mesh, faults, s, d) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+        let blocks = BlockMap::build(&set);
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        prop_assume!(!blocks.is_blocked(s) && !blocks.is_blocked(d));
+        let by_coverage =
+            coverage::minimal_path_exists_by_coverage(&blocks.rects(), s, d);
+        let by_oracle = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
+        prop_assert_eq!(by_coverage, by_oracle);
+    }
+
+    /// Whenever the oracle says a path exists, the constructed path is a
+    /// valid, simple, minimal, obstacle-avoiding walk between the endpoints.
+    #[test]
+    fn constructed_paths_are_valid((mesh, faults, s, d) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        let blocked = |c: Coord| set.is_faulty(c);
+        match reach::minimal_path(&mesh, s, d, blocked) {
+            Some(p) => {
+                prop_assert_eq!(p.source(), Some(s));
+                prop_assert_eq!(p.dest(), Some(d));
+                prop_assert!(p.is_minimal());
+                prop_assert!(p.is_simple());
+                prop_assert!(p.avoids(blocked));
+            }
+            None => {
+                prop_assert!(!reach::minimal_path_exists(&mesh, s, d, blocked));
+            }
+        }
+    }
+
+    /// Type-one and type-two decompositions are mirror images: flipping the
+    /// mesh east-west maps one onto the other.
+    #[test]
+    fn mcc_types_are_mirror_images((mesh, faults, _, _) in config()) {
+        let set = FaultSet::from_coords(mesh, faults.iter().map(|&c| Coord::from(c)));
+        let mirrored = FaultSet::from_coords(
+            mesh,
+            faults
+                .iter()
+                .map(|&(x, y)| Coord::new(mesh.width() - 1 - x, y)),
+        );
+        let one = MccMap::build(&set, MccType::One);
+        let two = MccMap::build(&mirrored, MccType::Two);
+        for c in mesh.nodes() {
+            let m = Coord::new(mesh.width() - 1 - c.x, c.y);
+            prop_assert_eq!(one.is_blocked(c), two.is_blocked(m));
+        }
+    }
+}
+
+/// A deterministic sweep over seeds exercising the random injector against
+/// the same invariants at the paper's fault densities (scaled down).
+#[test]
+fn injector_configurations_uphold_invariants() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mesh = Mesh::square(24);
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = (seed as usize * 3) % 50;
+        let set = inject::uniform(mesh, k, &[mesh.center()], &mut rng);
+        let blocks = BlockMap::build(&set);
+        assert!(blocks.rect_invariant_holds(), "seed {seed}");
+        for ty in MccType::ALL {
+            let mcc = MccMap::build(&set, ty);
+            assert!(mcc.disabled_count() <= blocks.disabled_count(), "seed {seed}");
+        }
+    }
+}
+
+/// Quadrant normalization consistency: reachability is invariant under the
+/// frame mirrorings used by the coverage condition.
+#[test]
+fn coverage_in_all_quadrants_matches_oracle() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mesh = Mesh::square(15);
+    let s = mesh.center();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let set = inject::uniform(mesh, 14, &[s], &mut rng);
+        let blocks = BlockMap::build(&set);
+        if blocks.is_blocked(s) {
+            continue;
+        }
+        for d in mesh.nodes() {
+            if blocks.is_blocked(d) {
+                continue;
+            }
+            let q = Quadrant::of(s, d);
+            let by_coverage = coverage::minimal_path_exists_by_coverage(&blocks.rects(), s, d);
+            let by_oracle =
+                reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
+            assert_eq!(
+                by_coverage, by_oracle,
+                "seed {seed}, quadrant {q}, s={s}, d={d}"
+            );
+        }
+    }
+}

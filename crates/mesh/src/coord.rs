@@ -1,0 +1,168 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Direction;
+
+/// The address of a node in a 2-D mesh.
+///
+/// Coordinates are signed so that analysis code can talk about positions just
+/// outside the mesh (for example the boundary line `x = x_min − 1` of a
+/// faulty block whose `x_min` is 0). Whether a coordinate actually denotes a
+/// node of a given mesh is answered by [`crate::Mesh::contains`].
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Direction};
+///
+/// let u = Coord::new(3, 4);
+/// assert_eq!(u.step(Direction::East), Coord::new(4, 4));
+/// assert_eq!(u.manhattan(Coord::new(0, 0)), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Position along the X dimension (East is `+x`).
+    pub x: i32,
+    /// Position along the Y dimension (North is `+y`).
+    pub y: i32,
+}
+
+impl Coord {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Coord = Coord { x: 0, y: 0 };
+
+    /// Creates a coordinate from its two components.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Coord { x, y }
+    }
+
+    /// The Manhattan (L1) distance `|x_d − x_s| + |y_d − y_s|`, the length of
+    /// every minimal path between the two nodes.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The coordinate one hop away in the given direction.
+    pub fn step(self, dir: Direction) -> Coord {
+        let (dx, dy) = dir.offset();
+        Coord::new(self.x + dx, self.y + dy)
+    }
+
+    /// The coordinate `n` hops away in the given direction.
+    pub fn step_by(self, dir: Direction, n: i32) -> Coord {
+        let (dx, dy) = dir.offset();
+        Coord::new(self.x + dx * n, self.y + dy * n)
+    }
+
+    /// Whether `other` is a mesh neighbor of `self` (addresses differ by one
+    /// in exactly one dimension).
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// The four potential neighbors in E, N, W, S order (some may fall
+    /// outside a concrete mesh).
+    pub fn adjacent(self) -> [Coord; 4] {
+        [
+            self.step(Direction::East),
+            self.step(Direction::North),
+            self.step(Direction::West),
+            self.step(Direction::South),
+        ]
+    }
+
+    /// The direction of the single-hop move from `self` to `other`, if the
+    /// two are adjacent.
+    pub fn direction_to(self, other: Coord) -> Option<Direction> {
+        Direction::ALL
+            .into_iter()
+            .find(|&d| self.step(d) == other)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((x, y): (i32, i32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+
+    fn add(self, rhs: Coord) -> Coord {
+        Coord::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+
+    fn sub(self, rhs: Coord) -> Coord {
+        Coord::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(2, 9);
+        let b = Coord::new(-3, 4);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 10);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn step_round_trips_with_opposite() {
+        let u = Coord::new(5, 5);
+        for dir in Direction::ALL {
+            assert_eq!(u.step(dir).step(dir.opposite()), u);
+        }
+    }
+
+    #[test]
+    fn step_by_matches_repeated_step() {
+        let mut u = Coord::ORIGIN;
+        for _ in 0..7 {
+            u = u.step(Direction::North);
+        }
+        assert_eq!(u, Coord::ORIGIN.step_by(Direction::North, 7));
+    }
+
+    #[test]
+    fn adjacency_and_direction_to() {
+        let u = Coord::new(1, 1);
+        for dir in Direction::ALL {
+            let v = u.step(dir);
+            assert!(u.is_adjacent(v));
+            assert_eq!(u.direction_to(v), Some(dir));
+        }
+        assert!(!u.is_adjacent(u));
+        assert_eq!(u.direction_to(Coord::new(3, 3)), None);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Coord::new(2, 3);
+        let b = Coord::new(-1, 4);
+        assert_eq!(a + b, Coord::new(1, 7));
+        assert_eq!(a - b, Coord::new(3, -1));
+        assert_eq!(Coord::from((2, 3)), a);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(Coord::new(3, -1).to_string(), "(3, -1)");
+    }
+}

@@ -1,0 +1,169 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four directions of a 2-D mesh.
+///
+/// The paper orders the components of an extended safety level as
+/// `(E, S, W, N)`; this enum uses the same compass names with East = `+x`
+/// and North = `+y`.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::Direction;
+///
+/// assert_eq!(Direction::East.opposite(), Direction::West);
+/// assert_eq!(Direction::North.offset(), (0, 1));
+/// assert!(Direction::East.is_horizontal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards `+x`.
+    East,
+    /// Towards `+y`.
+    North,
+    /// Towards `-x`.
+    West,
+    /// Towards `-y`.
+    South,
+}
+
+impl Direction {
+    /// All four directions, in E, N, W, S order.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::North,
+        Direction::West,
+        Direction::South,
+    ];
+
+    /// The unit offset `(dx, dy)` of a single hop in this direction.
+    pub const fn offset(self) -> (i32, i32) {
+        match self {
+            Direction::East => (1, 0),
+            Direction::North => (0, 1),
+            Direction::West => (-1, 0),
+            Direction::South => (0, -1),
+        }
+    }
+
+    /// The direction pointing the opposite way.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::North => Direction::South,
+            Direction::West => Direction::East,
+            Direction::South => Direction::North,
+        }
+    }
+
+    /// Whether this direction moves along the X dimension.
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+
+    /// Whether this direction moves along the Y dimension.
+    pub const fn is_vertical(self) -> bool {
+        !self.is_horizontal()
+    }
+
+    /// A compact per-direction index (E=0, N=1, W=2, S=3), handy for
+    /// direction-indexed arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::North => 1,
+            Direction::West => 2,
+            Direction::South => 3,
+        }
+    }
+
+    /// Mirrors the direction across the Y axis (East ↔ West) when `flip` is
+    /// true; used by [`crate::Frame`] to normalize quadrants.
+    pub const fn mirrored_x(self, flip: bool) -> Direction {
+        match (self, flip) {
+            (Direction::East, true) => Direction::West,
+            (Direction::West, true) => Direction::East,
+            (d, _) => d,
+        }
+    }
+
+    /// Mirrors the direction across the X axis (North ↔ South) when `flip`
+    /// is true; used by [`crate::Frame`] to normalize quadrants.
+    pub const fn mirrored_y(self, flip: bool) -> Direction {
+        match (self, flip) {
+            (Direction::North, true) => Direction::South,
+            (Direction::South, true) => Direction::North,
+            (d, _) => d,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::East => "E",
+            Direction::North => "N",
+            Direction::West => "W",
+            Direction::South => "S",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn offsets_are_unit_vectors() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.offset();
+            assert_eq!(dx.abs() + dy.abs(), 1);
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx, dy), (-ox, -oy));
+        }
+    }
+
+    #[test]
+    fn horizontal_vertical_partition() {
+        assert!(Direction::East.is_horizontal());
+        assert!(Direction::West.is_horizontal());
+        assert!(Direction::North.is_vertical());
+        assert!(Direction::South.is_vertical());
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let mut seen = [false; 4];
+        for d in Direction::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+
+    #[test]
+    fn mirroring() {
+        assert_eq!(Direction::East.mirrored_x(true), Direction::West);
+        assert_eq!(Direction::East.mirrored_x(false), Direction::East);
+        assert_eq!(Direction::North.mirrored_x(true), Direction::North);
+        assert_eq!(Direction::North.mirrored_y(true), Direction::South);
+        assert_eq!(Direction::South.mirrored_y(true), Direction::North);
+        assert_eq!(Direction::West.mirrored_y(true), Direction::West);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Direction::ALL.iter().map(|d| d.to_string()).collect();
+        assert_eq!(names, ["E", "N", "W", "S"]);
+    }
+}

@@ -1,0 +1,196 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Coord, Direction, Mesh, Quadrant, Rect};
+
+/// The mirroring transform that maps a source/destination pair onto the
+/// paper's canonical frame: source at the origin, destination in quadrant I.
+///
+/// Every condition and routing rule in the paper is stated for a destination
+/// in the first quadrant; the other quadrants follow "by symmetry". `Frame`
+/// makes that symmetry executable: it translates the source to the origin
+/// and mirrors the axes so the destination's relative coordinates become
+/// non-negative. Rectangles, directions and mesh bounds can all be carried
+/// between the absolute and the relative frame.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Frame, Quadrant};
+///
+/// let s = Coord::new(10, 10);
+/// let d = Coord::new(4, 15); // quadrant II of s
+/// let frame = Frame::normalizing(s, d);
+/// assert_eq!(frame.to_rel(s), Coord::new(0, 0));
+/// let rd = frame.to_rel(d);
+/// assert!(rd.x >= 0 && rd.y >= 0); // now in quadrant I
+/// assert_eq!(frame.to_abs(rd), d); // round-trips
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    origin: Coord,
+    flip_x: bool,
+    flip_y: bool,
+}
+
+impl Frame {
+    /// The frame that translates `source` to the origin and mirrors axes so
+    /// that `dest` lands in quadrant I.
+    pub fn normalizing(source: Coord, dest: Coord) -> Frame {
+        let q = Quadrant::of(source, dest);
+        Frame {
+            origin: source,
+            flip_x: !q.x_positive(),
+            flip_y: !q.y_positive(),
+        }
+    }
+
+    /// The identity frame at `source` (no mirroring).
+    pub fn at(source: Coord) -> Frame {
+        Frame {
+            origin: source,
+            flip_x: false,
+            flip_y: false,
+        }
+    }
+
+    /// The absolute coordinate acting as the relative origin (the source).
+    pub fn origin(&self) -> Coord {
+        self.origin
+    }
+
+    /// Whether the X axis is mirrored.
+    pub fn flips_x(&self) -> bool {
+        self.flip_x
+    }
+
+    /// Whether the Y axis is mirrored.
+    pub fn flips_y(&self) -> bool {
+        self.flip_y
+    }
+
+    /// Maps an absolute coordinate into the relative frame.
+    pub fn to_rel(&self, c: Coord) -> Coord {
+        let dx = c.x - self.origin.x;
+        let dy = c.y - self.origin.y;
+        Coord::new(
+            if self.flip_x { -dx } else { dx },
+            if self.flip_y { -dy } else { dy },
+        )
+    }
+
+    /// Maps a relative coordinate back to the absolute frame.
+    pub fn to_abs(&self, c: Coord) -> Coord {
+        Coord::new(
+            self.origin.x + if self.flip_x { -c.x } else { c.x },
+            self.origin.y + if self.flip_y { -c.y } else { c.y },
+        )
+    }
+
+    /// Maps an absolute rectangle into the relative frame (mirroring swaps
+    /// the min/max bounds as needed).
+    pub fn rect_to_rel(&self, r: &Rect) -> Rect {
+        let a = self.to_rel(Coord::new(r.x_min(), r.y_min()));
+        let b = self.to_rel(Coord::new(r.x_max(), r.y_max()));
+        Rect::new(a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y))
+    }
+
+    /// The absolute direction corresponding to a relative direction: the
+    /// move a node must physically take when the frame says "go East".
+    pub fn dir_to_abs(&self, rel: Direction) -> Direction {
+        rel.mirrored_x(self.flip_x).mirrored_y(self.flip_y)
+    }
+
+    /// The relative direction corresponding to an absolute direction.
+    pub fn dir_to_rel(&self, abs: Direction) -> Direction {
+        // Mirroring is an involution, so the same mapping works both ways.
+        self.dir_to_abs(abs)
+    }
+
+    /// The mesh bounds expressed in the relative frame.
+    pub fn bounds_to_rel(&self, mesh: &Mesh) -> Rect {
+        self.rect_to_rel(&mesh.bounds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<(Frame, Coord, Coord)> {
+        let s = Coord::new(10, 10);
+        [
+            Coord::new(14, 13),
+            Coord::new(6, 13),
+            Coord::new(6, 7),
+            Coord::new(14, 7),
+        ]
+        .into_iter()
+        .map(|d| (Frame::normalizing(s, d), s, d))
+        .collect()
+    }
+
+    #[test]
+    fn destination_lands_in_quadrant_one() {
+        for (f, s, d) in frames() {
+            assert_eq!(f.to_rel(s), Coord::ORIGIN);
+            let rd = f.to_rel(d);
+            assert!(rd.x >= 0 && rd.y >= 0, "{rd} not in quadrant I");
+            assert_eq!(rd.manhattan(Coord::ORIGIN), s.manhattan(d));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_quadrants() {
+        for (f, _, _) in frames() {
+            for c in Rect::new(-3, 3, -3, 3).iter() {
+                assert_eq!(f.to_rel(f.to_abs(c)), c);
+                assert_eq!(f.to_abs(f.to_rel(c)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn direction_mapping_is_consistent_with_coords() {
+        for (f, s, _) in frames() {
+            for rel in Direction::ALL {
+                let abs = f.dir_to_abs(rel);
+                // Taking one absolute step in `abs` must advance the
+                // relative position by one step in `rel`.
+                let moved = s.step(abs);
+                assert_eq!(f.to_rel(moved), Coord::ORIGIN.step(rel));
+                assert_eq!(f.dir_to_rel(abs), rel);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_mapping_preserves_membership() {
+        for (f, _, _) in frames() {
+            let r = Rect::new(2, 6, 3, 6);
+            let rel = f.rect_to_rel(&r);
+            assert_eq!(rel.node_count(), r.node_count());
+            for c in r.iter() {
+                assert!(rel.contains(f.to_rel(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_frame() {
+        let f = Frame::at(Coord::new(3, 4));
+        assert!(!f.flips_x() && !f.flips_y());
+        assert_eq!(f.to_rel(Coord::new(5, 6)), Coord::new(2, 2));
+        assert_eq!(f.dir_to_abs(Direction::North), Direction::North);
+    }
+
+    #[test]
+    fn bounds_to_rel_contains_rel_mesh_nodes() {
+        let mesh = Mesh::new(7, 5);
+        let s = mesh.center();
+        let f = Frame::normalizing(s, Coord::new(0, 0)); // quadrant III
+        let b = f.bounds_to_rel(&mesh);
+        for c in mesh.nodes() {
+            assert!(b.contains(f.to_rel(c)));
+        }
+    }
+}

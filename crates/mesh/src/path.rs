@@ -1,0 +1,214 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Coord;
+
+/// A walk through the mesh: a sequence of nodes in hop order.
+///
+/// Paths are produced by the routing protocols and checked by the test
+/// suite: a *minimal* path from `s` to `d` has exactly
+/// `manhattan(s, d)` hops, and a *sub-minimal* path (extension 1) has
+/// exactly two more.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Path};
+///
+/// let p: Path = [(0, 0), (1, 0), (1, 1)].into_iter().map(Coord::from).collect();
+/// assert!(p.is_contiguous());
+/// assert_eq!(p.hops(), 2);
+/// assert!(p.is_minimal());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<Coord>,
+}
+
+impl Path {
+    /// Creates a path from a node sequence.
+    pub fn new(nodes: Vec<Coord>) -> Self {
+        Path { nodes }
+    }
+
+    /// The path holding a single node (zero hops).
+    pub fn singleton(c: Coord) -> Self {
+        Path { nodes: vec![c] }
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[Coord] {
+        &self.nodes
+    }
+
+    /// The first node, if the path is non-empty.
+    pub fn source(&self) -> Option<Coord> {
+        self.nodes.first().copied()
+    }
+
+    /// The last node, if the path is non-empty.
+    pub fn dest(&self) -> Option<Coord> {
+        self.nodes.last().copied()
+    }
+
+    /// The number of hops (edges), which is one less than the number of
+    /// nodes; 0 for empty or singleton paths.
+    pub fn hops(&self) -> u32 {
+        self.nodes.len().saturating_sub(1) as u32
+    }
+
+    /// Whether every consecutive pair of nodes is mesh-adjacent.
+    pub fn is_contiguous(&self) -> bool {
+        self.nodes.windows(2).all(|w| w[0].is_adjacent(w[1]))
+    }
+
+    /// Whether this is a minimal (shortest) walk between its endpoints:
+    /// contiguous with exactly `manhattan(source, dest)` hops.
+    ///
+    /// Empty paths are not minimal; singletons trivially are.
+    pub fn is_minimal(&self) -> bool {
+        match (self.source(), self.dest()) {
+            (Some(s), Some(d)) => self.is_contiguous() && self.hops() == s.manhattan(d),
+            _ => false,
+        }
+    }
+
+    /// Whether this is a *sub-minimal* walk: contiguous with exactly
+    /// `manhattan(source, dest) + 2` hops (one detour, as in extension 1).
+    pub fn is_sub_minimal(&self) -> bool {
+        match (self.source(), self.dest()) {
+            (Some(s), Some(d)) => self.is_contiguous() && self.hops() == s.manhattan(d) + 2,
+            _ => false,
+        }
+    }
+
+    /// Whether no node of the path satisfies `blocked`.
+    pub fn avoids(&self, blocked: impl Fn(Coord) -> bool) -> bool {
+        !self.nodes.iter().any(|&c| blocked(c))
+    }
+
+    /// Whether the path never visits the same node twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|c| seen.insert(*c))
+    }
+
+    /// Appends a node to the end of the path.
+    pub fn push(&mut self, c: Coord) {
+        self.nodes.push(c);
+    }
+
+    /// Extends this path by another whose first node must equal this path's
+    /// last node (the junction node is kept once). Used to splice the two
+    /// phases of the extensions' two-phase routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either path is empty or the endpoints do not match.
+    pub fn join(mut self, second: Path) -> Path {
+        let end = self.dest().expect("joining an empty path");
+        let start = second.source().expect("joining with an empty path");
+        assert_eq!(end, start, "paths do not share a junction node");
+        self.nodes.extend(second.nodes.into_iter().skip(1));
+        self
+    }
+}
+
+impl FromIterator<Coord> for Path {
+    fn from_iter<I: IntoIterator<Item = Coord>>(iter: I) -> Self {
+        Path {
+            nodes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.nodes {
+            if !first {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if self.nodes.is_empty() {
+            f.write_str("(empty path)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(coords: &[(i32, i32)]) -> Path {
+        coords.iter().map(|&(x, y)| Coord::new(x, y)).collect()
+    }
+
+    #[test]
+    fn minimal_detection() {
+        let p = path(&[(0, 0), (1, 0), (1, 1), (2, 1)]);
+        assert!(p.is_contiguous());
+        assert!(p.is_minimal());
+        assert!(!p.is_sub_minimal());
+    }
+
+    #[test]
+    fn sub_minimal_detection() {
+        // One detour: down and back, then across.
+        let p = path(&[(0, 0), (0, -1), (1, -1), (1, 0), (2, 0)]);
+        assert!(p.is_contiguous());
+        assert!(!p.is_minimal());
+        assert!(p.is_sub_minimal());
+        assert_eq!(p.hops(), Coord::new(0, 0).manhattan(Coord::new(2, 0)) + 2);
+    }
+
+    #[test]
+    fn non_contiguous_is_never_minimal() {
+        let p = path(&[(0, 0), (2, 0)]);
+        assert!(!p.is_contiguous());
+        assert!(!p.is_minimal());
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert!(Path::singleton(Coord::ORIGIN).is_minimal());
+        assert_eq!(Path::singleton(Coord::ORIGIN).hops(), 0);
+        assert!(!Path::default().is_minimal());
+        assert_eq!(Path::default().to_string(), "(empty path)");
+    }
+
+    #[test]
+    fn join_splices_phases() {
+        let a = path(&[(0, 0), (1, 0)]);
+        let b = path(&[(1, 0), (1, 1)]);
+        let joined = a.join(b);
+        assert_eq!(joined.nodes().len(), 3);
+        assert!(joined.is_minimal());
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn join_requires_matching_endpoints() {
+        let _ = path(&[(0, 0)]).join(path(&[(5, 5)]));
+    }
+
+    #[test]
+    fn avoids_and_simple() {
+        let p = path(&[(0, 0), (1, 0), (1, 1)]);
+        assert!(p.avoids(|c| c.x > 5));
+        assert!(!p.avoids(|c| c == Coord::new(1, 0)));
+        assert!(p.is_simple());
+        let loopy = path(&[(0, 0), (1, 0), (0, 0)]);
+        assert!(!loopy.is_simple());
+    }
+
+    #[test]
+    fn display_formats_arrows() {
+        let p = path(&[(0, 0), (0, 1)]);
+        assert_eq!(p.to_string(), "(0, 0) -> (0, 1)");
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Coord;
+
+/// The quadrant of a destination relative to a source node.
+///
+/// The paper places the source at the origin of a local coordinate system;
+/// the destination then lies in one of four quadrants. Quadrant boundaries
+/// (destinations sharing a row or column with the source) are folded into
+/// the closest quadrant so that every destination has a well-defined
+/// quadrant: quadrant I covers `dx ≥ 0, dy ≥ 0`, II covers `dx < 0, dy ≥ 0`,
+/// III covers `dx < 0, dy < 0` and IV covers `dx ≥ 0, dy < 0`.
+///
+/// MCC labeling distinguishes only the *pairs* I/III ("type-one") and II/IV
+/// ("type-two"); see [`Quadrant::is_type_one`].
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{Coord, Quadrant};
+///
+/// let s = Coord::new(100, 100);
+/// assert_eq!(Quadrant::of(s, Coord::new(120, 150)), Quadrant::I);
+/// assert_eq!(Quadrant::of(s, Coord::new(80, 150)), Quadrant::II);
+/// assert_eq!(Quadrant::of(s, Coord::new(80, 50)), Quadrant::III);
+/// assert_eq!(Quadrant::of(s, Coord::new(120, 50)), Quadrant::IV);
+/// assert!(Quadrant::I.is_type_one() && Quadrant::III.is_type_one());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quadrant {
+    /// North-east: `dx ≥ 0, dy ≥ 0`.
+    I,
+    /// North-west: `dx < 0, dy ≥ 0`.
+    II,
+    /// South-west: `dx < 0, dy < 0`.
+    III,
+    /// South-east: `dx ≥ 0, dy < 0`.
+    IV,
+}
+
+impl Quadrant {
+    /// All four quadrants.
+    pub const ALL: [Quadrant; 4] = [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV];
+
+    /// The quadrant of `dest` relative to `source`.
+    pub fn of(source: Coord, dest: Coord) -> Quadrant {
+        let d = dest - source;
+        match (d.x >= 0, d.y >= 0) {
+            (true, true) => Quadrant::I,
+            (false, true) => Quadrant::II,
+            (false, false) => Quadrant::III,
+            (true, false) => Quadrant::IV,
+        }
+    }
+
+    /// Whether routing toward this quadrant uses the *type-one* MCC
+    /// labeling (quadrants I and III) as opposed to type-two (II and IV).
+    pub const fn is_type_one(self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::III)
+    }
+
+    /// Whether a move toward this quadrant increases `x`.
+    pub const fn x_positive(self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::IV)
+    }
+
+    /// Whether a move toward this quadrant increases `y`.
+    pub const fn y_positive(self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::II)
+    }
+}
+
+impl fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Quadrant::I => "I",
+            Quadrant::II => "II",
+            Quadrant::III => "III",
+            Quadrant::IV => "IV",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_destinations_fold_into_positive_quadrants() {
+        let s = Coord::new(5, 5);
+        assert_eq!(Quadrant::of(s, Coord::new(9, 5)), Quadrant::I); // due east
+        assert_eq!(Quadrant::of(s, Coord::new(5, 9)), Quadrant::I); // due north
+        assert_eq!(Quadrant::of(s, Coord::new(1, 5)), Quadrant::II); // due west
+        assert_eq!(Quadrant::of(s, Coord::new(5, 1)), Quadrant::IV); // due south
+        assert_eq!(Quadrant::of(s, s), Quadrant::I); // degenerate
+    }
+
+    #[test]
+    fn type_partition() {
+        assert!(Quadrant::I.is_type_one());
+        assert!(Quadrant::III.is_type_one());
+        assert!(!Quadrant::II.is_type_one());
+        assert!(!Quadrant::IV.is_type_one());
+    }
+
+    #[test]
+    fn sign_helpers_match_definition() {
+        for q in Quadrant::ALL {
+            let dx = if q.x_positive() { 1 } else { -1 };
+            let dy = if q.y_positive() { 1 } else { -1 };
+            assert_eq!(Quadrant::of(Coord::ORIGIN, Coord::new(dx, dy)), q);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Quadrant::ALL.iter().map(|q| q.to_string()).collect();
+        assert_eq!(names, ["I", "II", "III", "IV"]);
+    }
+}

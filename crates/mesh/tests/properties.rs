@@ -1,0 +1,108 @@
+//! Property-based tests for the geometric substrate.
+
+use proptest::prelude::*;
+
+use emr_mesh::{Coord, Direction, Frame, Mesh, Path, Quadrant, Rect};
+
+fn coords() -> impl Strategy<Value = Coord> {
+    (-50i32..50, -50i32..50).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_is_a_metric(a in coords(), b in coords(), c in coords()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        // Triangle inequality.
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn frame_roundtrips_everywhere(s in coords(), d in coords(), p in coords()) {
+        let f = Frame::normalizing(s, d);
+        prop_assert_eq!(f.to_abs(f.to_rel(p)), p);
+        prop_assert_eq!(f.to_rel(f.to_abs(p)), p);
+        // Distances are preserved.
+        prop_assert_eq!(f.to_rel(p).manhattan(f.to_rel(s)), p.manhattan(s));
+    }
+
+    #[test]
+    fn frame_normalizes_destination(s in coords(), d in coords()) {
+        let f = Frame::normalizing(s, d);
+        let rd = f.to_rel(d);
+        prop_assert!(rd.x >= 0 && rd.y >= 0);
+        prop_assert_eq!(f.to_rel(s), Coord::ORIGIN);
+    }
+
+    #[test]
+    fn frame_direction_mapping_is_coherent(s in coords(), d in coords(), p in coords()) {
+        let f = Frame::normalizing(s, d);
+        for dir in Direction::ALL {
+            let abs = f.dir_to_abs(dir);
+            // One absolute step in `abs` is one relative step in `dir`.
+            prop_assert_eq!(f.to_rel(p.step(abs)), f.to_rel(p).step(dir));
+            prop_assert_eq!(f.dir_to_rel(abs), dir);
+        }
+    }
+
+    #[test]
+    fn rect_mapping_preserves_membership(
+        s in coords(),
+        d in coords(),
+        (x0, y0, w, h) in (-20i32..20, -20i32..20, 0i32..10, 0i32..10),
+    ) {
+        let r = Rect::new(x0, x0 + w, y0, y0 + h);
+        let f = Frame::normalizing(s, d);
+        let rel = f.rect_to_rel(&r);
+        prop_assert_eq!(rel.node_count(), r.node_count());
+        for c in r.iter() {
+            prop_assert!(rel.contains(f.to_rel(c)));
+        }
+    }
+
+    #[test]
+    fn quadrants_partition_the_plane(s in coords(), d in coords()) {
+        let q = Quadrant::of(s, d);
+        let delta = d - s;
+        prop_assert_eq!(delta.x >= 0, q.x_positive());
+        prop_assert_eq!(delta.y >= 0, q.y_positive());
+    }
+
+    #[test]
+    fn monotone_walks_are_minimal(
+        s in coords(),
+        steps in proptest::collection::vec(proptest::bool::ANY, 0..40),
+    ) {
+        // Any walk using only E/N moves is a minimal path to its endpoint.
+        let mut path = Path::singleton(s);
+        let mut cur = s;
+        for step_east in steps {
+            cur = cur.step(if step_east { Direction::East } else { Direction::North });
+            path.push(cur);
+        }
+        prop_assert!(path.is_minimal());
+        prop_assert!(path.is_simple());
+    }
+
+    #[test]
+    fn rect_iteration_matches_contains(
+        (x0, y0, w, h) in (-10i32..10, -10i32..10, 0i32..8, 0i32..8),
+        p in coords(),
+    ) {
+        let r = Rect::new(x0, x0 + w, y0, y0 + h);
+        let listed: Vec<Coord> = r.iter().collect();
+        prop_assert_eq!(listed.len(), r.node_count());
+        prop_assert_eq!(listed.contains(&p), r.contains(p));
+    }
+
+    #[test]
+    fn mesh_neighbor_symmetry(n in 2i32..12, x in 0i32..12, y in 0i32..12) {
+        let mesh = Mesh::square(n);
+        let c = Coord::new(x.min(n - 1), y.min(n - 1));
+        for v in mesh.neighbors(c) {
+            // Neighborhood is symmetric.
+            prop_assert!(mesh.neighbors(v).any(|w| w == c));
+            prop_assert_eq!(c.manhattan(v), 1);
+        }
+    }
+}

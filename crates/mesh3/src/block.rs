@@ -1,0 +1,417 @@
+//! The cuboid fault-region model: 3-D fault sets, the generalized
+//! Definition 1 labeling, connected components and their bounding cuboids.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Axis3, Coord3, Grid3, Mesh3};
+
+/// A set of faulty nodes in a 3-D mesh.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet3 {
+    mesh: Mesh3,
+    faulty: Grid3<bool>,
+    list: Vec<Coord3>,
+}
+
+impl FaultSet3 {
+    /// Creates an empty fault set.
+    pub fn new(mesh: Mesh3) -> Self {
+        FaultSet3 {
+            mesh,
+            faulty: Grid3::new(mesh, false),
+            list: Vec::new(),
+        }
+    }
+
+    /// Creates a fault set from coordinates (duplicates kept once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate lies outside the mesh.
+    pub fn from_coords(mesh: Mesh3, coords: impl IntoIterator<Item = Coord3>) -> Self {
+        let mut set = FaultSet3::new(mesh);
+        for c in coords {
+            set.insert(c);
+        }
+        set
+    }
+
+    /// The mesh the faults live in.
+    pub fn mesh(&self) -> Mesh3 {
+        self.mesh
+    }
+
+    /// Marks `c` faulty; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn insert(&mut self, c: Coord3) -> bool {
+        assert!(self.mesh.contains(c), "fault {c} outside mesh");
+        if self.faulty[c] {
+            return false;
+        }
+        self.faulty[c] = true;
+        self.list.push(c);
+        true
+    }
+
+    /// Whether `c` is faulty (off-mesh positions are not).
+    pub fn is_faulty(&self, c: Coord3) -> bool {
+        self.faulty.get(c).copied().unwrap_or(false)
+    }
+
+    /// The number of faults.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Iterates the faults in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord3> + '_ {
+        self.list.iter().copied()
+    }
+}
+
+/// An inclusive axis-aligned box `[x0:x1, y0:y1, z0:z1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cuboid {
+    min: Coord3,
+    max: Coord3,
+}
+
+impl Cuboid {
+    /// The 1×1×1 cuboid around a node.
+    pub fn point(c: Coord3) -> Self {
+        Cuboid { min: c, max: c }
+    }
+
+    /// The smallest corner.
+    pub fn min(&self) -> Coord3 {
+        self.min
+    }
+
+    /// The largest corner.
+    pub fn max(&self) -> Coord3 {
+        self.max
+    }
+
+    /// The extent along an axis.
+    pub fn len(&self, axis: Axis3) -> i32 {
+        self.max.along(axis) - self.min.along(axis) + 1
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        Axis3::ALL
+            .iter()
+            .map(|&a| self.len(a) as usize)
+            .product()
+    }
+
+    /// Whether the cuboid covers `c`.
+    pub fn contains(&self, c: Coord3) -> bool {
+        Axis3::ALL.iter().all(|&a| {
+            (self.min.along(a)..=self.max.along(a)).contains(&c.along(a))
+        })
+    }
+
+    /// Grows the box to cover `c`.
+    pub fn expanded_to(&self, c: Coord3) -> Cuboid {
+        Cuboid {
+            min: Coord3::new(
+                self.min.x.min(c.x),
+                self.min.y.min(c.y),
+                self.min.z.min(c.z),
+            ),
+            max: Coord3::new(
+                self.max.x.max(c.x),
+                self.max.y.max(c.y),
+                self.max.z.max(c.z),
+            ),
+        }
+    }
+
+    /// Whether two cuboids share a node.
+    pub fn intersects(&self, other: &Cuboid) -> bool {
+        Axis3::ALL.iter().all(|&a| {
+            self.min.along(a) <= other.max.along(a) && other.min.along(a) <= self.max.along(a)
+        })
+    }
+}
+
+/// The fault-region decomposition of a 3-D mesh.
+///
+/// The labeling generalizes Definition 1: a healthy node is disabled when
+/// at least **two different dimensions** each contain a faulty/disabled
+/// neighbor. In 3-D the resulting components are rectilinear-convex but
+/// not necessarily full boxes, so the routing layer uses each component's
+/// **bounding cuboid** as the obstacle (the standard cuboid fault-region
+/// model); [`BlockMap3::is_blocked`] answers for the cuboids and
+/// [`BlockMap3::overapproximated_nodes`] reports how many healthy nodes
+/// that over-approximation sacrifices.
+#[derive(Debug, Clone)]
+pub struct BlockMap3 {
+    mesh: Mesh3,
+    component: Grid3<bool>,
+    cuboids: Vec<Cuboid>,
+    faulty_nodes: usize,
+    disabled_nodes: usize,
+}
+
+impl BlockMap3 {
+    /// Runs the labeling to its fix-point and extracts components.
+    pub fn build(faults: &FaultSet3) -> BlockMap3 {
+        let mesh = faults.mesh();
+        // 0 = healthy, 1 = faulty, 2 = disabled.
+        let mut state = Grid3::from_fn(mesh, |c| u8::from(faults.is_faulty(c)));
+        let mut queue: VecDeque<Coord3> = faults.iter().flat_map(|f| mesh.neighbors(f)).collect();
+        while let Some(u) = queue.pop_front() {
+            if state[u] != 0 {
+                continue;
+            }
+            let blocked_axes = Axis3::ALL
+                .iter()
+                .filter(|&&a| {
+                    [1, -1].iter().any(|&s| {
+                        let v = u.step(crate::geometry::Dir3 { axis: a, sign: s });
+                        state.get(v).is_some_and(|&st| st != 0)
+                    })
+                })
+                .count();
+            if blocked_axes >= 2 {
+                state[u] = 2;
+                queue.extend(mesh.neighbors(u));
+            }
+        }
+
+        // Components of faulty∪disabled, with bounding cuboids.
+        let mut visited = Grid3::new(mesh, false);
+        let mut cuboids = Vec::new();
+        let mut faulty_nodes = 0;
+        let mut disabled_nodes = 0;
+        for start in mesh.nodes() {
+            if visited[start] || state[start] == 0 {
+                continue;
+            }
+            let mut cuboid = Cuboid::point(start);
+            let mut queue = VecDeque::from([start]);
+            visited[start] = true;
+            while let Some(u) = queue.pop_front() {
+                cuboid = cuboid.expanded_to(u);
+                match state[u] {
+                    1 => faulty_nodes += 1,
+                    _ => disabled_nodes += 1,
+                }
+                for v in mesh.neighbors(u) {
+                    if !visited[v] && state[v] != 0 {
+                        visited[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            cuboids.push(cuboid);
+        }
+        // Merge overlapping bounding cuboids (components whose boxes
+        // intersect act as one obstacle region) to keep them disjoint.
+        let cuboids = merge_overlapping(cuboids);
+        let component = Grid3::from_fn(mesh, |c| state[c] != 0);
+        BlockMap3 {
+            mesh,
+            component,
+            cuboids,
+            faulty_nodes,
+            disabled_nodes,
+        }
+    }
+
+    /// The mesh covered.
+    pub fn mesh(&self) -> Mesh3 {
+        self.mesh
+    }
+
+    /// The disjoint obstacle cuboids.
+    pub fn cuboids(&self) -> &[Cuboid] {
+        &self.cuboids
+    }
+
+    /// Whether `c` lies in an obstacle cuboid (the routing model).
+    pub fn is_blocked(&self, c: Coord3) -> bool {
+        self.mesh.contains(c) && self.cuboids.iter().any(|b| b.contains(c))
+    }
+
+    /// Whether `c` is actually faulty or disabled (the component itself).
+    pub fn in_component(&self, c: Coord3) -> bool {
+        self.component.get(c).copied().unwrap_or(false)
+    }
+
+    /// Number of genuinely faulty nodes.
+    pub fn faulty_count(&self) -> usize {
+        self.faulty_nodes
+    }
+
+    /// Number of healthy nodes the labeling disabled.
+    pub fn disabled_count(&self) -> usize {
+        self.disabled_nodes
+    }
+
+    /// Healthy nodes sacrificed by using bounding cuboids instead of the
+    /// exact components (the cost of the cuboid fault-region model).
+    pub fn overapproximated_nodes(&self) -> usize {
+        let in_cuboids: usize = self.cuboids.iter().map(Cuboid::node_count).sum();
+        in_cuboids - self.faulty_nodes - self.disabled_nodes
+    }
+}
+
+/// Transitively merges intersecting cuboids into their joint bounding
+/// boxes, returning pairwise-disjoint cuboids.
+fn merge_overlapping(mut cuboids: Vec<Cuboid>) -> Vec<Cuboid> {
+    loop {
+        let mut merged_any = false;
+        let mut out: Vec<Cuboid> = Vec::with_capacity(cuboids.len());
+        'outer: for c in cuboids {
+            for existing in &mut out {
+                if existing.intersects(&c) {
+                    *existing = existing.expanded_to(c.min()).expanded_to(c.max());
+                    merged_any = true;
+                    continue 'outer;
+                }
+            }
+            out.push(c);
+        }
+        if !merged_any {
+            return out;
+        }
+        cuboids = out;
+    }
+}
+
+/// One 3-D fault configuration plus its decomposition and safety map.
+#[derive(Debug, Clone)]
+pub struct Scenario3 {
+    faults: FaultSet3,
+    blocks: BlockMap3,
+    safety: crate::safety::SafetyMap3,
+}
+
+impl Scenario3 {
+    /// Decomposes a fault set and computes the safety levels.
+    pub fn build(faults: FaultSet3) -> Scenario3 {
+        let blocks = BlockMap3::build(&faults);
+        let safety = crate::safety::SafetyMap3::for_blocks(&blocks);
+        Scenario3 {
+            faults,
+            blocks,
+            safety,
+        }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> Mesh3 {
+        self.faults.mesh()
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &FaultSet3 {
+        &self.faults
+    }
+
+    /// The cuboid decomposition.
+    pub fn blocks(&self) -> &BlockMap3 {
+        &self.blocks
+    }
+
+    /// The 6-tuple safety levels.
+    pub fn safety(&self) -> &crate::safety::SafetyMap3 {
+        &self.safety
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(mesh: Mesh3, coords: &[(i32, i32, i32)]) -> BlockMap3 {
+        BlockMap3::build(&FaultSet3::from_coords(
+            mesh,
+            coords.iter().map(|&(x, y, z)| Coord3::new(x, y, z)),
+        ))
+    }
+
+    #[test]
+    fn isolated_fault_is_a_unit_cuboid() {
+        let map = build(Mesh3::cube(5), &[(2, 2, 2)]);
+        assert_eq!(map.cuboids().len(), 1);
+        assert_eq!(map.cuboids()[0].node_count(), 1);
+        assert_eq!(map.disabled_count(), 0);
+        assert_eq!(map.overapproximated_nodes(), 0);
+    }
+
+    #[test]
+    fn diagonal_pair_in_a_plane_closes() {
+        // Same 2-D behavior inside one layer: two xy-diagonal faults
+        // disable the two pocket nodes.
+        let map = build(Mesh3::cube(5), &[(1, 1, 2), (2, 2, 2)]);
+        assert!(map.in_component(Coord3::new(1, 2, 2)));
+        assert!(map.in_component(Coord3::new(2, 1, 2)));
+        assert_eq!(map.disabled_count(), 2);
+        assert_eq!(map.cuboids().len(), 1);
+        assert_eq!(map.cuboids()[0].node_count(), 4); // 2×2×1 box
+    }
+
+    #[test]
+    fn body_diagonal_pair_does_not_disable() {
+        // (0,0,0)+(1,1,1): no node has two blocked dimensions.
+        let map = build(Mesh3::cube(4), &[(0, 0, 0), (1, 1, 1)]);
+        assert_eq!(map.disabled_count(), 0);
+        // Their unit boxes are disjoint.
+        assert_eq!(map.cuboids().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_bounding_boxes_merge() {
+        // Two components whose boxes overlap must merge into one obstacle.
+        let map = build(
+            Mesh3::new(8, 8, 3),
+            &[(1, 1, 0), (3, 3, 0), (2, 2, 0), (1, 3, 1), (3, 1, 1)],
+        );
+        for (i, a) in map.cuboids().iter().enumerate() {
+            for b in &map.cuboids()[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} intersects {b:?}");
+            }
+        }
+        // Every component node is inside some cuboid.
+        for c in map.mesh().nodes() {
+            if map.in_component(c) {
+                assert!(map.is_blocked(c));
+            }
+        }
+    }
+
+    #[test]
+    fn cuboid_geometry() {
+        let b = Cuboid::point(Coord3::new(1, 2, 3)).expanded_to(Coord3::new(4, 0, 3));
+        assert_eq!(b.min(), Coord3::new(1, 0, 3));
+        assert_eq!(b.max(), Coord3::new(4, 2, 3));
+        assert_eq!(b.len(Axis3::X), 4);
+        assert_eq!(b.node_count(), 4 * 3);
+        assert!(b.contains(Coord3::new(2, 1, 3)));
+        assert!(!b.contains(Coord3::new(2, 1, 2)));
+    }
+
+    #[test]
+    fn scenario_builds_consistently() {
+        let mesh = Mesh3::cube(6);
+        let faults = FaultSet3::from_coords(mesh, [Coord3::new(3, 3, 3)]);
+        let sc = Scenario3::build(faults);
+        assert_eq!(sc.blocks().cuboids().len(), 1);
+        assert_eq!(sc.faults().len(), 1);
+        assert!(!sc.blocks().is_blocked(Coord3::ORIGIN));
+    }
+}

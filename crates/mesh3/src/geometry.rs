@@ -1,0 +1,383 @@
+//! 3-D mesh geometry: coordinates, axes, directions, bounds and grids.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// The address of a node in a 3-D mesh.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh3::{Coord3, Dir3};
+///
+/// let u = Coord3::new(1, 2, 3);
+/// assert_eq!(u.manhattan(Coord3::new(4, 0, 3)), 5);
+/// assert_eq!(u.step(Dir3::UP), Coord3::new(1, 2, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord3 {
+    /// Position along X (East is `+x`).
+    pub x: i32,
+    /// Position along Y (North is `+y`).
+    pub y: i32,
+    /// Position along Z (Up is `+z`).
+    pub z: i32,
+}
+
+impl Coord3 {
+    /// The origin `(0, 0, 0)`.
+    pub const ORIGIN: Coord3 = Coord3 { x: 0, y: 0, z: 0 };
+
+    /// Creates a coordinate from its components.
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        Coord3 { x, y, z }
+    }
+
+    /// The Manhattan (L1) distance, the length of every minimal path.
+    pub fn manhattan(self, other: Coord3) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y) + self.z.abs_diff(other.z)
+    }
+
+    /// The coordinate one hop away in `dir`.
+    pub fn step(self, dir: Dir3) -> Coord3 {
+        let mut c = self;
+        *c.axis_mut(dir.axis) += dir.sign;
+        c
+    }
+
+    /// The component along `axis`.
+    pub fn along(self, axis: Axis3) -> i32 {
+        match axis {
+            Axis3::X => self.x,
+            Axis3::Y => self.y,
+            Axis3::Z => self.z,
+        }
+    }
+
+    fn axis_mut(&mut self, axis: Axis3) -> &mut i32 {
+        match axis {
+            Axis3::X => &mut self.x,
+            Axis3::Y => &mut self.y,
+            Axis3::Z => &mut self.z,
+        }
+    }
+
+    /// A copy with the component along `axis` replaced.
+    pub fn with_along(mut self, axis: Axis3, value: i32) -> Coord3 {
+        *self.axis_mut(axis) = value;
+        self
+    }
+}
+
+impl fmt::Display for Coord3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// One of the three dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis3 {
+    /// The X dimension.
+    X,
+    /// The Y dimension.
+    Y,
+    /// The Z dimension.
+    Z,
+}
+
+impl Axis3 {
+    /// All three axes.
+    pub const ALL: [Axis3; 3] = [Axis3::X, Axis3::Y, Axis3::Z];
+
+    /// The other two axes, in a fixed order.
+    pub fn others(self) -> [Axis3; 2] {
+        match self {
+            Axis3::X => [Axis3::Y, Axis3::Z],
+            Axis3::Y => [Axis3::X, Axis3::Z],
+            Axis3::Z => [Axis3::X, Axis3::Y],
+        }
+    }
+}
+
+/// A signed direction: an axis and a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dir3 {
+    /// The axis moved along.
+    pub axis: Axis3,
+    /// `+1` or `-1`.
+    pub sign: i32,
+}
+
+impl Dir3 {
+    /// `+x`.
+    pub const EAST: Dir3 = Dir3 { axis: Axis3::X, sign: 1 };
+    /// `-x`.
+    pub const WEST: Dir3 = Dir3 { axis: Axis3::X, sign: -1 };
+    /// `+y`.
+    pub const NORTH: Dir3 = Dir3 { axis: Axis3::Y, sign: 1 };
+    /// `-y`.
+    pub const SOUTH: Dir3 = Dir3 { axis: Axis3::Y, sign: -1 };
+    /// `+z`.
+    pub const UP: Dir3 = Dir3 { axis: Axis3::Z, sign: 1 };
+    /// `-z`.
+    pub const DOWN: Dir3 = Dir3 { axis: Axis3::Z, sign: -1 };
+
+    /// All six directions.
+    pub const ALL: [Dir3; 6] = [
+        Dir3::EAST,
+        Dir3::WEST,
+        Dir3::NORTH,
+        Dir3::SOUTH,
+        Dir3::UP,
+        Dir3::DOWN,
+    ];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir3 {
+        Dir3 {
+            axis: self.axis,
+            sign: -self.sign,
+        }
+    }
+
+    /// A compact index 0..6 for direction-indexed arrays
+    /// (+x, −x, +y, −y, +z, −z).
+    pub fn index(self) -> usize {
+        let a = match self.axis {
+            Axis3::X => 0,
+            Axis3::Y => 2,
+            Axis3::Z => 4,
+        };
+        a + usize::from(self.sign < 0)
+    }
+}
+
+/// The bounds of a `w × h × d` 3-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh3 {
+    width: i32,
+    height: i32,
+    depth: i32,
+}
+
+impl Mesh3 {
+    /// Creates a mesh with the given extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is not positive.
+    pub fn new(width: i32, height: i32, depth: i32) -> Self {
+        assert!(
+            width > 0 && height > 0 && depth > 0,
+            "mesh extents must be positive"
+        );
+        Mesh3 {
+            width,
+            height,
+            depth,
+        }
+    }
+
+    /// An `n × n × n` mesh.
+    pub fn cube(n: i32) -> Self {
+        Mesh3::new(n, n, n)
+    }
+
+    /// Extent along X.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Extent along Y.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Extent along Z.
+    pub fn depth(&self) -> i32 {
+        self.depth
+    }
+
+    /// Extent along an axis.
+    pub fn extent(&self, axis: Axis3) -> i32 {
+        match axis {
+            Axis3::X => self.width,
+            Axis3::Y => self.height,
+            Axis3::Z => self.depth,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.width as usize * self.height as usize * self.depth as usize
+    }
+
+    /// Whether `c` addresses a node.
+    pub fn contains(&self, c: Coord3) -> bool {
+        (0..self.width).contains(&c.x)
+            && (0..self.height).contains(&c.y)
+            && (0..self.depth).contains(&c.z)
+    }
+
+    /// The in-mesh neighbors of `c` (up to 6).
+    pub fn neighbors(&self, c: Coord3) -> impl Iterator<Item = Coord3> + '_ {
+        Dir3::ALL
+            .into_iter()
+            .map(move |d| c.step(d))
+            .filter(|&v| self.contains(v))
+    }
+
+    /// Iterates all nodes in x-fastest order.
+    pub fn nodes(&self) -> impl Iterator<Item = Coord3> + '_ {
+        let (w, h, d) = (self.width, self.height, self.depth);
+        (0..d).flat_map(move |z| {
+            (0..h).flat_map(move |y| (0..w).map(move |x| Coord3::new(x, y, z)))
+        })
+    }
+
+    /// The center node.
+    pub fn center(&self) -> Coord3 {
+        Coord3::new(self.width / 2, self.height / 2, self.depth / 2)
+    }
+
+    /// Linear index of an in-mesh coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn index_of(&self, c: Coord3) -> usize {
+        assert!(self.contains(c), "{c} outside {self:?}");
+        ((c.z as usize * self.height as usize) + c.y as usize) * self.width as usize
+            + c.x as usize
+    }
+}
+
+/// Dense per-node storage for a [`Mesh3`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3<T> {
+    mesh: Mesh3,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid3<T> {
+    /// Creates a grid with every node set to `fill`.
+    pub fn new(mesh: Mesh3, fill: T) -> Self {
+        Grid3 {
+            mesh,
+            data: vec![fill; mesh.node_count()],
+        }
+    }
+}
+
+impl<T> Grid3<T> {
+    /// Creates a grid by evaluating `f` at every node.
+    pub fn from_fn(mesh: Mesh3, mut f: impl FnMut(Coord3) -> T) -> Self {
+        let data = mesh.nodes().map(&mut f).collect();
+        Grid3 { mesh, data }
+    }
+
+    /// The mesh covered.
+    pub fn mesh(&self) -> Mesh3 {
+        self.mesh
+    }
+
+    /// Checked access; `None` outside the mesh.
+    pub fn get(&self, c: Coord3) -> Option<&T> {
+        self.mesh
+            .contains(c)
+            .then(|| &self.data[self.mesh.index_of(c)])
+    }
+
+    /// Counts nodes whose value satisfies `pred`.
+    pub fn count(&self, pred: impl Fn(&T) -> bool) -> usize {
+        self.data.iter().filter(|v| pred(v)).count()
+    }
+}
+
+impl<T> Index<Coord3> for Grid3<T> {
+    type Output = T;
+
+    fn index(&self, c: Coord3) -> &T {
+        &self.data[self.mesh.index_of(c)]
+    }
+}
+
+impl<T> IndexMut<Coord3> for Grid3<T> {
+    fn index_mut(&mut self, c: Coord3) -> &mut T {
+        let i = self.mesh.index_of(c);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_and_manhattan() {
+        let u = Coord3::new(2, 3, 4);
+        for d in Dir3::ALL {
+            assert_eq!(u.step(d).step(d.opposite()), u);
+            assert_eq!(u.manhattan(u.step(d)), 1);
+        }
+    }
+
+    #[test]
+    fn axis_accessors() {
+        let u = Coord3::new(7, 8, 9);
+        assert_eq!(u.along(Axis3::X), 7);
+        assert_eq!(u.along(Axis3::Y), 8);
+        assert_eq!(u.along(Axis3::Z), 9);
+        assert_eq!(u.with_along(Axis3::Y, 1), Coord3::new(7, 1, 9));
+        assert_eq!(Axis3::Y.others(), [Axis3::X, Axis3::Z]);
+    }
+
+    #[test]
+    fn direction_indices_are_distinct() {
+        let mut seen = [false; 6];
+        for d in Dir3::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let mesh = Mesh3::cube(4);
+        assert_eq!(mesh.neighbors(Coord3::ORIGIN).count(), 3); // corner
+        assert_eq!(mesh.neighbors(Coord3::new(1, 0, 0)).count(), 4); // edge
+        assert_eq!(mesh.neighbors(Coord3::new(1, 1, 0)).count(), 5); // face
+        assert_eq!(mesh.neighbors(Coord3::new(1, 1, 1)).count(), 6); // interior
+    }
+
+    #[test]
+    fn nodes_and_indexing_agree() {
+        let mesh = Mesh3::new(3, 2, 2);
+        let nodes: Vec<Coord3> = mesh.nodes().collect();
+        assert_eq!(nodes.len(), mesh.node_count());
+        for (i, c) in nodes.iter().enumerate() {
+            assert_eq!(mesh.index_of(*c), i);
+        }
+    }
+
+    #[test]
+    fn grid_roundtrip() {
+        let mesh = Mesh3::cube(3);
+        let mut g = Grid3::new(mesh, 0u32);
+        g[Coord3::new(2, 1, 0)] = 9;
+        assert_eq!(g[Coord3::new(2, 1, 0)], 9);
+        assert_eq!(g.get(Coord3::new(3, 0, 0)), None);
+        assert_eq!(g.count(|&v| v == 9), 1);
+        let h = Grid3::from_fn(mesh, |c| c.x + c.y + c.z);
+        assert_eq!(h[Coord3::new(2, 2, 2)], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = Mesh3::new(3, 0, 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Random fault injection for 3-D meshes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::block::FaultSet3;
+use crate::geometry::{Coord3, Mesh3};
+
+/// Draws `count` distinct faults uniformly at random, avoiding `forbidden`.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the number of eligible nodes.
+pub fn uniform(
+    mesh: Mesh3,
+    count: usize,
+    forbidden: &[Coord3],
+    rng: &mut impl Rng,
+) -> FaultSet3 {
+    let eligible: Vec<Coord3> = mesh.nodes().filter(|c| !forbidden.contains(c)).collect();
+    assert!(
+        count <= eligible.len(),
+        "cannot place {count} faults among {} eligible nodes",
+        eligible.len()
+    );
+    FaultSet3::from_coords(mesh, eligible.choose_multiple(rng, count).copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn places_exact_distinct_count() {
+        let mesh = Mesh3::cube(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = uniform(mesh, 40, &[mesh.center()], &mut rng);
+        assert_eq!(set.len(), 40);
+        assert!(!set.is_faulty(mesh.center()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mesh = Mesh3::cube(6);
+        let a = uniform(mesh, 20, &[], &mut StdRng::seed_from_u64(1));
+        let b = uniform(mesh, 20, &[], &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn oversized_request_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform(Mesh3::cube(2), 9, &[], &mut rng);
+    }
+}

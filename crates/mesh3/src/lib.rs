@@ -1,0 +1,54 @@
+//! 3-D mesh extension — the paper's stated future work (§6: "Possible
+//! extensions to 3-D meshes and other high-dimensional mesh networks will
+//! be another focus").
+//!
+//! This crate carries the paper's machinery one dimension up:
+//!
+//! * [`Coord3`] / [`Mesh3`] / [`Grid3`] / [`Axis3`] — 3-D mesh geometry
+//!   (interior degree 6),
+//! * [`Cuboid`] and [`BlockMap3`] — the cuboid fault-region model: the
+//!   Definition 1 labeling generalizes to "faulty/disabled neighbors in at
+//!   least two different dimensions"; unlike in 2-D the connected
+//!   components need **not** fill their bounding boxes, so — following the
+//!   standard cuboid fault-region literature — routing treats each
+//!   component's bounding cuboid as the obstacle (conservative, and the
+//!   tests quantify the over-approximation),
+//! * [`SafetyLevel3`] / [`SafetyMap3`] — the extended safety level becomes
+//!   a 6-tuple of axis distances to the nearest cuboid,
+//! * [`reach`] — the exact 3-D monotone-reachability oracle,
+//! * [`route`] — the layered router: climb the clear axis, then run the
+//!   full 2-D Wu protocol inside the destination's layer (the 2-D crates
+//!   are reused unchanged on the projection),
+//! * [`conditions`] — sufficient conditions: the *layered* safe condition
+//!   (climb one clear axis to the destination's layer, then apply the 2-D
+//!   Theorem 1 inside that layer, where cuboid cross-sections are disjoint
+//!   rectangles — sound by construction, property-tested against the
+//!   oracle) and the naive all-axes-clear generalization, whose
+//!   *insufficiency* in 3-D the test suite demonstrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use emr_mesh3::{conditions, Coord3, FaultSet3, Mesh3, Scenario3};
+//!
+//! let mesh = Mesh3::cube(12);
+//! let faults = FaultSet3::from_coords(mesh, [Coord3::new(5, 5, 5), Coord3::new(6, 6, 5)]);
+//! let sc = Scenario3::build(faults);
+//! let (s, d) = (Coord3::new(1, 1, 1), Coord3::new(10, 10, 10));
+//! assert!(conditions::layered_safe(&sc, s, d).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+pub mod conditions;
+mod geometry;
+pub mod inject;
+pub mod reach;
+pub mod route;
+mod safety;
+
+pub use block::{BlockMap3, Cuboid, FaultSet3, Scenario3};
+pub use geometry::{Axis3, Coord3, Dir3, Grid3, Mesh3};
+pub use safety::{SafetyLevel3, SafetyMap3};

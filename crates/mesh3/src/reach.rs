@@ -1,0 +1,183 @@
+//! Exact 3-D monotone-reachability oracle.
+//!
+//! As in 2-D, a minimal path moves only in the (up to three) preferred
+//! directions and stays in the box spanned by source and destination, so
+//! existence is a dynamic program over that box.
+
+use crate::geometry::{Coord3, Grid3, Mesh3};
+
+/// Whether a minimal path from `s` to `d` exists avoiding `blocked` nodes.
+///
+/// Returns `false` when either endpoint is blocked or off-mesh; `s == d`
+/// with `s` unblocked counts as reachable.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh3::{reach, Coord3, Mesh3};
+///
+/// let mesh = Mesh3::cube(4);
+/// assert!(reach::minimal_path_exists(
+///     &mesh,
+///     Coord3::ORIGIN,
+///     Coord3::new(3, 3, 3),
+///     |c| c == Coord3::new(1, 1, 1),
+/// ));
+/// ```
+pub fn minimal_path_exists(
+    mesh: &Mesh3,
+    s: Coord3,
+    d: Coord3,
+    blocked: impl Fn(Coord3) -> bool,
+) -> bool {
+    path_table(mesh, s, d, &blocked).is_some_and(|(table, signs)| {
+        let rel = to_rel(s, d, signs, d);
+        table[rel]
+    })
+}
+
+/// Constructs a minimal path (as the node list) if one exists.
+pub fn minimal_path(
+    mesh: &Mesh3,
+    s: Coord3,
+    d: Coord3,
+    blocked: impl Fn(Coord3) -> bool,
+) -> Option<Vec<Coord3>> {
+    let (table, signs) = path_table(mesh, s, d, &blocked)?;
+    let rd = to_rel(s, d, signs, d);
+    if !table[rd] {
+        return None;
+    }
+    let mut rev = vec![rd];
+    let mut cur = rd;
+    while cur != Coord3::ORIGIN {
+        let preds = [
+            Coord3::new(cur.x - 1, cur.y, cur.z),
+            Coord3::new(cur.x, cur.y - 1, cur.z),
+            Coord3::new(cur.x, cur.y, cur.z - 1),
+        ];
+        cur = preds
+            .into_iter()
+            .find(|&p| p.x >= 0 && p.y >= 0 && p.z >= 0 && table[p])
+            .expect("reachable cell has a reachable predecessor");
+        rev.push(cur);
+    }
+    Some(rev.into_iter().rev().map(|r| from_rel(s, signs, r)).collect())
+}
+
+fn to_rel(s: Coord3, _d: Coord3, signs: (i32, i32, i32), c: Coord3) -> Coord3 {
+    Coord3::new(
+        (c.x - s.x) * signs.0,
+        (c.y - s.y) * signs.1,
+        (c.z - s.z) * signs.2,
+    )
+}
+
+fn from_rel(s: Coord3, signs: (i32, i32, i32), r: Coord3) -> Coord3 {
+    Coord3::new(s.x + r.x * signs.0, s.y + r.y * signs.1, s.z + r.z * signs.2)
+}
+
+fn path_table(
+    mesh: &Mesh3,
+    s: Coord3,
+    d: Coord3,
+    blocked: &impl Fn(Coord3) -> bool,
+) -> Option<(Grid3<bool>, (i32, i32, i32))> {
+    if !mesh.contains(s) || !mesh.contains(d) || blocked(s) || blocked(d) {
+        return None;
+    }
+    let signs = (
+        if d.x >= s.x { 1 } else { -1 },
+        if d.y >= s.y { 1 } else { -1 },
+        if d.z >= s.z { 1 } else { -1 },
+    );
+    let rd = to_rel(s, d, signs, d);
+    let table_mesh = Mesh3::new(rd.x + 1, rd.y + 1, rd.z + 1);
+    let mut table = Grid3::new(table_mesh, false);
+    for rc in table_mesh.nodes() {
+        let abs = from_rel(s, signs, rc);
+        if !mesh.contains(abs) || blocked(abs) {
+            continue;
+        }
+        let reachable = rc == Coord3::ORIGIN
+            || (rc.x > 0 && table[Coord3::new(rc.x - 1, rc.y, rc.z)])
+            || (rc.y > 0 && table[Coord3::new(rc.x, rc.y - 1, rc.z)])
+            || (rc.z > 0 && table[Coord3::new(rc.x, rc.y, rc.z - 1)]);
+        table[rc] = reachable;
+    }
+    Some((table, signs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_cube_is_fully_reachable() {
+        let mesh = Mesh3::cube(5);
+        let s = mesh.center();
+        for d in mesh.nodes() {
+            assert!(minimal_path_exists(&mesh, s, d, |_| false), "{d}");
+        }
+    }
+
+    #[test]
+    fn full_plane_wall_blocks() {
+        let mesh = Mesh3::cube(5);
+        let wall = |c: Coord3| c.x == 2; // a whole y-z plane
+        assert!(!minimal_path_exists(
+            &mesh,
+            Coord3::ORIGIN,
+            Coord3::new(4, 4, 4),
+            wall
+        ));
+        // A plane with one hole lets the path through.
+        let holed = |c: Coord3| c.x == 2 && !(c.y == 1 && c.z == 1);
+        assert!(minimal_path_exists(
+            &mesh,
+            Coord3::ORIGIN,
+            Coord3::new(4, 4, 4),
+            holed
+        ));
+    }
+
+    #[test]
+    fn constructed_path_is_minimal_and_avoiding() {
+        let mesh = Mesh3::cube(6);
+        let s = Coord3::new(0, 1, 0);
+        let d = Coord3::new(5, 4, 5);
+        let blocked = |c: Coord3| c == Coord3::new(2, 2, 2) || c == Coord3::new(3, 3, 3);
+        let p = minimal_path(&mesh, s, d, blocked).expect("path exists");
+        assert_eq!(p.first(), Some(&s));
+        assert_eq!(p.last(), Some(&d));
+        assert_eq!(p.len() as u32, s.manhattan(d) + 1);
+        assert!(p.windows(2).all(|w| w[0].manhattan(w[1]) == 1));
+        assert!(p.iter().all(|&c| !blocked(c)));
+    }
+
+    #[test]
+    fn works_in_all_octants() {
+        let mesh = Mesh3::cube(5);
+        let s = mesh.center();
+        let blocked = |c: Coord3| c == Coord3::new(3, 3, 3) || c == Coord3::new(1, 1, 1);
+        for dx in [0, 4] {
+            for dy in [0, 4] {
+                for dz in [0, 4] {
+                    let d = Coord3::new(dx, dy, dz);
+                    let p = minimal_path(&mesh, s, d, blocked).expect("corner reachable");
+                    assert_eq!(p.len() as u32, s.manhattan(d) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_endpoints_fail() {
+        let mesh = Mesh3::cube(3);
+        let s = Coord3::ORIGIN;
+        let d = Coord3::new(2, 2, 2);
+        assert!(!minimal_path_exists(&mesh, s, d, |c| c == s));
+        assert!(!minimal_path_exists(&mesh, s, d, |c| c == d));
+        assert!(minimal_path(&mesh, s, s, |_| false).is_some());
+    }
+}

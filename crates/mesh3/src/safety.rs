@@ -1,0 +1,142 @@
+//! 6-tuple extended safety levels for 3-D meshes.
+
+use serde::{Deserialize, Serialize};
+
+use emr_mesh::{Dist, UNBOUNDED};
+
+use crate::block::BlockMap3;
+use crate::geometry::{Coord3, Dir3, Grid3, Mesh3};
+
+/// The extended safety level of a 3-D node: hop distances to the nearest
+/// obstacle cuboid in each of the six directions
+/// `(E, W, N, S, U, D)`, `∞` when clear to the mesh face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SafetyLevel3 {
+    dists: [Dist; 6],
+}
+
+impl SafetyLevel3 {
+    /// The all-clear level `(∞, ∞, ∞, ∞, ∞, ∞)`.
+    pub const UNBOUNDED: SafetyLevel3 = SafetyLevel3 {
+        dists: [UNBOUNDED; 6],
+    };
+
+    /// The distance toward `dir`.
+    pub fn toward(&self, dir: Dir3) -> Dist {
+        self.dists[dir.index()]
+    }
+}
+
+impl Default for SafetyLevel3 {
+    fn default() -> Self {
+        SafetyLevel3::UNBOUNDED
+    }
+}
+
+/// The safety levels of every node of a 3-D mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyMap3 {
+    levels: Grid3<SafetyLevel3>,
+}
+
+impl SafetyMap3 {
+    /// Computes the levels for an arbitrary blocked predicate by
+    /// directional ray walks (six sweeps).
+    pub fn compute(mesh: Mesh3, blocked: impl Fn(Coord3) -> bool) -> SafetyMap3 {
+        let mut levels = Grid3::new(mesh, SafetyLevel3::UNBOUNDED);
+        for dir in Dir3::ALL {
+            // Walk each lane from the `dir` end backwards, carrying the
+            // distance since the last blocked node.
+            for lane_start in lane_starts(mesh, dir) {
+                let mut dist = UNBOUNDED;
+                let mut cur = lane_start;
+                loop {
+                    if blocked(cur) {
+                        dist = 0;
+                    } else {
+                        if dist != UNBOUNDED {
+                            dist += 1;
+                        }
+                        levels[cur].dists[dir.index()] = dist;
+                    }
+                    let next = cur.step(dir.opposite());
+                    if !mesh.contains(next) {
+                        break;
+                    }
+                    cur = next;
+                }
+            }
+        }
+        SafetyMap3 { levels }
+    }
+
+    /// Computes the levels for a cuboid decomposition.
+    pub fn for_blocks(blocks: &BlockMap3) -> SafetyMap3 {
+        SafetyMap3::compute(blocks.mesh(), |c| blocks.is_blocked(c))
+    }
+
+    /// The level at `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn level(&self, c: Coord3) -> SafetyLevel3 {
+        self.levels[c]
+    }
+}
+
+/// The nodes at the far `dir`-side face of the mesh: starting points for
+/// the backward lane walks.
+fn lane_starts(mesh: Mesh3, dir: Dir3) -> Vec<Coord3> {
+    let fixed = if dir.sign > 0 {
+        mesh.extent(dir.axis) - 1
+    } else {
+        0
+    };
+    mesh.nodes()
+        .filter(|c| c.along(dir.axis) == fixed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FaultSet3;
+
+    #[test]
+    fn distances_around_one_fault() {
+        let mesh = Mesh3::cube(7);
+        let faults = FaultSet3::from_coords(mesh, [Coord3::new(3, 3, 3)]);
+        let map = SafetyMap3::for_blocks(&BlockMap3::build(&faults));
+        let at = |x, y, z| map.level(Coord3::new(x, y, z));
+        assert_eq!(at(0, 3, 3).toward(Dir3::EAST), 3);
+        assert_eq!(at(6, 3, 3).toward(Dir3::WEST), 3);
+        assert_eq!(at(3, 0, 3).toward(Dir3::NORTH), 3);
+        assert_eq!(at(3, 3, 0).toward(Dir3::UP), 3);
+        assert_eq!(at(3, 3, 6).toward(Dir3::DOWN), 3);
+        // Off the fault's three lanes everything is unbounded.
+        assert_eq!(at(0, 0, 0), SafetyLevel3::UNBOUNDED);
+        assert_eq!(at(2, 3, 3).toward(Dir3::NORTH), UNBOUNDED);
+    }
+
+    #[test]
+    fn clear_mesh_is_all_unbounded() {
+        let mesh = Mesh3::new(4, 3, 2);
+        let map = SafetyMap3::compute(mesh, |_| false);
+        for c in mesh.nodes() {
+            assert_eq!(map.level(c), SafetyLevel3::UNBOUNDED);
+        }
+    }
+
+    #[test]
+    fn distances_stop_at_nearest_obstacle() {
+        let mesh = Mesh3::new(9, 1, 1);
+        let map = SafetyMap3::compute(mesh, |c| c.x == 2 || c.x == 6);
+        let at = |x| map.level(Coord3::new(x, 0, 0));
+        assert_eq!(at(0).toward(Dir3::EAST), 2);
+        assert_eq!(at(4).toward(Dir3::EAST), 2);
+        assert_eq!(at(4).toward(Dir3::WEST), 2);
+        assert_eq!(at(8).toward(Dir3::WEST), 2);
+        assert_eq!(at(8).toward(Dir3::EAST), UNBOUNDED);
+    }
+}

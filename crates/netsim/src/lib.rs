@@ -1,0 +1,53 @@
+//! Packet-level synchronous network simulator.
+//!
+//! The paper evaluates its conditions at the *decision* level (does the
+//! source know a minimal route exists?). This crate supplies the system
+//! the decisions feed: a store-and-forward 2-D mesh network where many
+//! packets are in flight at once, every node runs a per-hop routing
+//! function, and directed links carry one packet per cycle (virtual
+//! output queues, oldest-packet-first arbitration).
+//!
+//! * [`Router`] — the per-hop routing function interface, with three
+//!   implementations: [`WuRouter`] (the paper's protocol, driven by
+//!   boundary information via [`emr_core::route::wu_step`]),
+//!   [`DimensionOrderRouter`] (the classic fault-oblivious XY baseline)
+//!   and [`OracleRouter`] (global information),
+//! * [`Workload`] — generated traffic: each packet carries the waypoint
+//!   legs of its two-phase [`emr_core::RoutePlan`] witness,
+//! * [`NetSim`] — the cycle-driven simulator with delivery statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use emr2d_netsim_doctest::*;
+//! # mod emr2d_netsim_doctest {
+//! #     pub use emr_core::{Model, Scenario};
+//! #     pub use emr_fault::FaultSet;
+//! #     pub use emr_mesh::{Coord, Mesh};
+//! #     pub use emr_netsim::{NetSim, Packet, WuRouter};
+//! # }
+//! let mesh = Mesh::square(12);
+//! let scenario = Scenario::build(FaultSet::from_coords(mesh, [Coord::new(6, 6)]));
+//! let boundary = scenario.boundary_map(Model::FaultBlock);
+//! let view = scenario.view(Model::FaultBlock);
+//! let router = WuRouter::new(&view, &boundary);
+//!
+//! let mut sim = NetSim::new(mesh, router);
+//! sim.inject(Packet::direct(Coord::new(1, 1), Coord::new(10, 10)), 0);
+//! let report = sim.run_to_completion(1000).unwrap();
+//! assert_eq!(report.delivered, 1);
+//! assert_eq!(report.total_hops, 18); // minimal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod packet;
+mod router;
+mod sim;
+pub mod workload;
+
+pub use packet::{Packet, PacketId};
+pub use router::{DimensionOrderRouter, OracleRouter, Router, WuRouter};
+pub use sim::{NetSim, SimError, SimReport};
+pub use workload::Workload;

@@ -1,0 +1,128 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use emr_core::RoutePlan;
+use emr_mesh::Coord;
+
+/// A packet's identity; also its age rank for link arbitration (lower id =
+/// injected earlier = higher priority).
+pub type PacketId = u64;
+
+/// One packet: a source, a destination, and the waypoint legs realizing
+/// its route plan (two-phase plans visit their witness node first).
+///
+/// # Examples
+///
+/// ```
+/// use emr_core::RoutePlan;
+/// use emr_mesh::Coord;
+/// use emr_netsim::Packet;
+///
+/// let p = Packet::with_plan(
+///     Coord::new(0, 0),
+///     Coord::new(5, 5),
+///     &RoutePlan::ViaAxis(Coord::new(3, 0)),
+/// );
+/// assert_eq!(p.current_target(), Some(Coord::new(3, 0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    source: Coord,
+    dest: Coord,
+    /// Remaining waypoints, ending with `dest`.
+    legs: VecDeque<Coord>,
+}
+
+impl Packet {
+    /// A packet routed directly (single phase).
+    pub fn direct(source: Coord, dest: Coord) -> Packet {
+        Packet {
+            source,
+            dest,
+            legs: VecDeque::from([dest]),
+        }
+    }
+
+    /// A packet following a [`RoutePlan`] witness: two-phase plans insert
+    /// the witness node as an intermediate waypoint.
+    pub fn with_plan(source: Coord, dest: Coord, plan: &RoutePlan) -> Packet {
+        let legs = match *plan {
+            RoutePlan::Direct => VecDeque::from([dest]),
+            RoutePlan::ViaNeighbor(w) | RoutePlan::ViaAxis(w) | RoutePlan::ViaPivot(w) => {
+                if w == source || w == dest {
+                    VecDeque::from([dest])
+                } else {
+                    VecDeque::from([w, dest])
+                }
+            }
+        };
+        Packet { source, dest, legs }
+    }
+
+    /// Where the packet was injected.
+    pub fn source(&self) -> Coord {
+        self.source
+    }
+
+    /// Its final destination.
+    pub fn dest(&self) -> Coord {
+        self.dest
+    }
+
+    /// The waypoint the packet is currently heading for (`None` once every
+    /// leg is consumed).
+    pub fn current_target(&self) -> Option<Coord> {
+        self.legs.front().copied()
+    }
+
+    /// Marks arrival at the current waypoint; returns `true` when that was
+    /// the final destination.
+    pub fn arrive_at_target(&mut self) -> bool {
+        self.legs.pop_front();
+        self.legs.is_empty()
+    }
+
+    /// The phase-1 origin for the current leg: the previous waypoint (or
+    /// the source). Wu's per-hop rule takes the leg's source, not the
+    /// packet's original source.
+    pub fn leg_count(&self) -> usize {
+        self.legs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_packet_has_one_leg() {
+        let p = Packet::direct(Coord::new(0, 0), Coord::new(3, 4));
+        assert_eq!(p.leg_count(), 1);
+        assert_eq!(p.current_target(), Some(Coord::new(3, 4)));
+    }
+
+    #[test]
+    fn two_phase_plan_inserts_waypoint() {
+        let mut p = Packet::with_plan(
+            Coord::new(0, 0),
+            Coord::new(5, 5),
+            &RoutePlan::ViaPivot(Coord::new(2, 3)),
+        );
+        assert_eq!(p.leg_count(), 2);
+        assert_eq!(p.current_target(), Some(Coord::new(2, 3)));
+        assert!(!p.arrive_at_target());
+        assert_eq!(p.current_target(), Some(Coord::new(5, 5)));
+        assert!(p.arrive_at_target());
+        assert_eq!(p.current_target(), None);
+    }
+
+    #[test]
+    fn degenerate_witnesses_collapse() {
+        let s = Coord::new(0, 0);
+        let d = Coord::new(4, 0);
+        assert_eq!(Packet::with_plan(s, d, &RoutePlan::ViaAxis(d)).leg_count(), 1);
+        assert_eq!(Packet::with_plan(s, d, &RoutePlan::ViaAxis(s)).leg_count(), 1);
+        assert_eq!(Packet::with_plan(s, d, &RoutePlan::Direct).leg_count(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Traffic generation for the network simulator.
+
+use rand::Rng;
+
+use emr_core::{conditions, Model, Scenario};
+use emr_mesh::Coord;
+
+use crate::packet::Packet;
+use crate::sim::NetSim;
+use crate::router::Router;
+
+/// A batch of scheduled traffic: `(injection cycle, packet)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use emr_core::{Model, Scenario};
+/// use emr_fault::FaultSet;
+/// use emr_mesh::Mesh;
+/// use emr_netsim::Workload;
+///
+/// let mesh = Mesh::square(16);
+/// let scenario = Scenario::build(FaultSet::new(mesh));
+/// let mut rng = rand::thread_rng();
+/// let load = Workload::uniform_ensured(&scenario, Model::FaultBlock, 20, 2, &mut rng);
+/// assert_eq!(load.len(), 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    packets: Vec<(u64, Packet)>,
+}
+
+impl Workload {
+    /// Uniform random traffic whose every packet carries a strategy-4
+    /// witness plan: `count` packets between random usable endpoint pairs
+    /// for which strategy 4 ensures a minimal route, injected
+    /// `per_cycle` per cycle. Pairs the strategy cannot ensure are
+    /// redrawn (they would be handled by a non-minimal fallback in a real
+    /// system, which is outside the paper's scope).
+    pub fn uniform_ensured(
+        scenario: &Scenario,
+        model: Model,
+        count: usize,
+        per_cycle: u64,
+        rng: &mut impl Rng,
+    ) -> Workload {
+        let view = scenario.view(model);
+        let mesh = scenario.mesh();
+        let mut packets = Vec::with_capacity(count);
+        let mut cycle = 0u64;
+        let mut in_cycle = 0u64;
+        let mut guard = 0u32;
+        while packets.len() < count {
+            guard += 1;
+            assert!(
+                guard < 100_000,
+                "could not find ensured traffic pairs (mesh too faulty?)"
+            );
+            let s = Coord::new(
+                rng.gen_range(0..mesh.width()),
+                rng.gen_range(0..mesh.height()),
+            );
+            let d = Coord::new(
+                rng.gen_range(0..mesh.width()),
+                rng.gen_range(0..mesh.height()),
+            );
+            if s == d || !view.endpoints_usable(s, d) {
+                continue;
+            }
+            let Some(ensured) = conditions::strategy4(&view, s, d) else {
+                continue;
+            };
+            if !ensured.is_minimal() {
+                continue;
+            }
+            packets.push((cycle, Packet::with_plan(s, d, &ensured.plan())));
+            in_cycle += 1;
+            if in_cycle >= per_cycle {
+                in_cycle = 0;
+                cycle += 1;
+            }
+        }
+        Workload { packets }
+    }
+
+    /// Uniform random direct traffic with no plan filtering (exercises
+    /// router failure behavior).
+    pub fn uniform_raw(
+        scenario: &Scenario,
+        count: usize,
+        per_cycle: u64,
+        rng: &mut impl Rng,
+    ) -> Workload {
+        let mesh = scenario.mesh();
+        let blocks = scenario.blocks();
+        let mut packets = Vec::with_capacity(count);
+        let mut cycle = 0u64;
+        let mut in_cycle = 0u64;
+        while packets.len() < count {
+            let s = Coord::new(
+                rng.gen_range(0..mesh.width()),
+                rng.gen_range(0..mesh.height()),
+            );
+            let d = Coord::new(
+                rng.gen_range(0..mesh.width()),
+                rng.gen_range(0..mesh.height()),
+            );
+            if s == d || blocks.is_blocked(s) || blocks.is_blocked(d) {
+                continue;
+            }
+            packets.push((cycle, Packet::direct(s, d)));
+            in_cycle += 1;
+            if in_cycle >= per_cycle {
+                in_cycle = 0;
+                cycle += 1;
+            }
+        }
+        Workload { packets }
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Schedules the whole batch into a simulator.
+    pub fn inject_into<R: Router>(&self, sim: &mut NetSim<R>) {
+        for (cycle, packet) in &self.packets {
+            sim.inject(packet.clone(), *cycle);
+        }
+    }
+
+    /// The scheduled packets.
+    pub fn packets(&self) -> &[(u64, Packet)] {
+        &self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::WuRouter;
+    use emr_fault::{inject, FaultSet};
+    use emr_mesh::Mesh;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ensured_workload_all_delivers_minimally() {
+        let mesh = Mesh::square(24);
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = inject::uniform(mesh, 20, &[], &mut rng);
+        let scenario = Scenario::build(faults);
+        let load =
+            Workload::uniform_ensured(&scenario, Model::FaultBlock, 60, 3, &mut rng);
+        assert_eq!(load.len(), 60);
+
+        let view = scenario.view(Model::FaultBlock);
+        let boundary = scenario.boundary_map(Model::FaultBlock);
+        let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
+        load.inject_into(&mut sim);
+        let report = sim.run_to_completion(10_000).unwrap();
+        assert_eq!(report.delivered, 60, "failed: {}", report.failed);
+        // Every plan was minimal, so the aggregate stretch is exactly 1.
+        assert!((report.hop_stretch() - 1.0).abs() < 1e-12);
+        // Latency includes queueing, so it is at least the hop count.
+        assert!(report.total_latency >= report.total_hops);
+    }
+
+    #[test]
+    fn raw_workload_counts_failures_honestly() {
+        let mesh = Mesh::square(20);
+        let mut rng = StdRng::seed_from_u64(9);
+        let faults = inject::uniform(mesh, 30, &[], &mut rng);
+        let scenario = Scenario::build(faults);
+        let load = Workload::uniform_raw(&scenario, 40, 4, &mut rng);
+        let view = scenario.view(Model::FaultBlock);
+        let boundary = scenario.boundary_map(Model::FaultBlock);
+        let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
+        load.inject_into(&mut sim);
+        let report = sim.run_to_completion(10_000).unwrap();
+        assert_eq!(report.delivered + report.failed, 40);
+        // Whatever was delivered was delivered minimally (Wu only makes
+        // preferred moves).
+        assert!((report.hop_stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scenario_workload_on_clean_mesh() {
+        let mesh = Mesh::square(8);
+        let scenario = Scenario::build(FaultSet::new(mesh));
+        let mut rng = StdRng::seed_from_u64(1);
+        let load = Workload::uniform_ensured(&scenario, Model::Mcc, 10, 1, &mut rng);
+        assert!(!load.is_empty());
+        assert_eq!(load.packets().len(), 10);
+    }
+}

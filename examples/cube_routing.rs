@@ -1,0 +1,66 @@
+//! The 3-D extension (the paper's future work) in action: cuboid fault
+//! regions, 6-tuple safety levels, and the layered sufficient condition,
+//! measured against the exact oracle.
+//!
+//! Run with `cargo run --release --example cube_routing`.
+
+use emr2d::mesh3::{conditions, inject, reach, Coord3, Mesh3, Scenario3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mesh = Mesh3::cube(20);
+    let s = mesh.center();
+    let trials = 300;
+    let fault_counts = [0usize, 20, 40, 80];
+
+    println!("3-D mesh {0}x{0}x{0}, source at {s}", mesh.width());
+    println!(
+        "{:>8}  {:>14} {:>14} {:>14}",
+        "faults", "axes-clear", "layered-safe", "optimal"
+    );
+    for &k in &fault_counts {
+        let (mut naive, mut layered, mut optimal) = (0u32, 0u32, 0u32);
+        let mut n = 0u32;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(k as u64 * 10_000 + seed);
+            let faults = inject::uniform(mesh, k, &[s], &mut rng);
+            let sc = Scenario3::build(faults);
+            if sc.blocks().is_blocked(s) {
+                continue;
+            }
+            // A random far destination in the positive octant.
+            let d = Coord3::new(
+                10 + (seed as i32 % 10),
+                10 + ((seed / 10) as i32 % 10),
+                10 + ((seed / 100) as i32 % 10),
+            );
+            if sc.blocks().is_blocked(d) {
+                continue;
+            }
+            n += 1;
+            naive += u32::from(conditions::all_axes_clear(&sc, s, d));
+            let plan = conditions::layered_safe(&sc, s, d);
+            layered += u32::from(plan.is_some());
+            let exists =
+                reach::minimal_path_exists(&mesh, s, d, |c| sc.blocks().is_blocked(c));
+            optimal += u32::from(exists);
+            // The layered guarantee is sound: verify on the spot.
+            if plan.is_some() {
+                assert!(exists, "layered_safe unsound at seed {seed}");
+            }
+        }
+        let pct = |v: u32| f64::from(v) / f64::from(n);
+        println!(
+            "{k:>8}  {:>14.3} {:>14.3} {:>14.3}",
+            pct(naive),
+            pct(layered),
+            pct(optimal)
+        );
+    }
+    println!(
+        "\nreading: in 3-D the naive all-axes-clear test is only a heuristic;\n\
+         the layered condition (clear axis + 2-D Theorem 1 in the target\n\
+         layer) is provably sound and still decides from local safety levels."
+    );
+}

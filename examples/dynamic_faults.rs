@@ -1,0 +1,86 @@
+//! A mesh degrading over time: faults arrive one by one, the block
+//! decomposition updates *incrementally* (paper §1: "when a disturbance
+//! occurs, only those affected nodes update"), and the network's
+//! guaranteed-minimal coverage is tracked after every disturbance.
+//!
+//! Run with `cargo run --release --example dynamic_faults [seed]`.
+
+use emr2d::core::conditions;
+use emr2d::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+    let mesh = Mesh::square(40);
+    let s = mesh.center();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // The incremental decomposition: starts clean, absorbs one fault at a
+    // time (equivalence with full rebuilds is property-tested in
+    // `emr-fault`).
+    let mut blocks = BlockMap::build(&FaultSet::new(mesh));
+    let mut fault_log: Vec<Coord> = Vec::new();
+
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>16} {:>14}",
+        "fault", "blocks", "disabled", "safe %", "strategy 4 %", "biggest block"
+    );
+    for step in 1..=120 {
+        // A new node fails (never the source; re-draw duplicates).
+        let fault = loop {
+            let c = Coord::new(rng.gen_range(0..40), rng.gen_range(0..40));
+            if c != s && !fault_log.contains(&c) {
+                break c;
+            }
+        };
+        fault_log.push(fault);
+        blocks.insert_fault(fault);
+
+        if step % 20 != 0 {
+            continue;
+        }
+        if blocks.is_blocked(s) {
+            println!("{step:>6}  -- source swallowed by a block; stopping --");
+            break;
+        }
+        // Rebuild the full scenario for the condition sweep (safety maps
+        // are global sweeps; the incremental structure carries the blocks).
+        let scenario =
+            Scenario::build(FaultSet::from_coords(mesh, fault_log.iter().copied()));
+        let view = scenario.view(Model::FaultBlock);
+        let (mut safe, mut s4, mut n) = (0u32, 0u32, 0u32);
+        for d in mesh.nodes() {
+            if d == s || blocks.is_blocked(d) {
+                continue;
+            }
+            n += 1;
+            safe += u32::from(conditions::safe_source(&view, s, d).is_some());
+            s4 += u32::from(
+                matches!(conditions::strategy4(&view, s, d), Some(e) if e.is_minimal()),
+            );
+        }
+        let biggest = blocks
+            .blocks()
+            .iter()
+            .map(|b| b.rect().node_count())
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{step:>6} {:>8} {:>10} {:>12.1} {:>16.1} {:>14}",
+            blocks.blocks().len(),
+            blocks.disabled_count(),
+            100.0 * f64::from(safe) / f64::from(n),
+            100.0 * f64::from(s4) / f64::from(n),
+            biggest
+        );
+    }
+    println!(
+        "\nreading: the strategies keep guaranteed-minimal coverage high even\n\
+         as random failures accumulate and blocks merge; each disturbance\n\
+         only re-labels its own neighborhood."
+    );
+}
