@@ -153,9 +153,7 @@ mod tests {
             for ty in MccType::ALL {
                 let mcc = MccMap::build(&faults, ty);
                 let mcc_rows = (0..mesh.height())
-                    .filter(|&y| {
-                        (0..mesh.width()).any(|x| mcc.is_blocked(Coord::new(x, y)))
-                    })
+                    .filter(|&y| (0..mesh.width()).any(|x| mcc.is_blocked(Coord::new(x, y))))
                     .count();
                 assert_eq!(mcc_rows, fault_rows, "seed {seed} {ty:?}");
             }

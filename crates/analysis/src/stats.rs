@@ -48,6 +48,28 @@ impl Summary {
         self.max = self.max.max(v);
     }
 
+    /// Folds another accumulator into this one (Chan et al.'s parallel
+    /// Welford update). Merging chunk summaries in a fixed order yields
+    /// the same result no matter which threads produced them.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples seen.
     pub fn count(&self) -> u64 {
         self.count
@@ -143,13 +165,39 @@ mod tests {
     }
 
     #[test]
+    fn merge_matches_sequential_accumulation() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 53) % 89) as f64 / 3.0).collect();
+        let mut sequential = Summary::new();
+        sequential.extend(data.iter().copied());
+        // Fold fixed-size chunks in order — the sweep engine's reduction.
+        let mut merged = Summary::new();
+        for chunk in data.chunks(32) {
+            let mut part = Summary::new();
+            part.extend(chunk.iter().copied());
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), sequential.count());
+        assert!((merged.mean() - sequential.mean()).abs() < 1e-12);
+        assert!((merged.std_dev() - sequential.std_dev()).abs() < 1e-9);
+        assert_eq!(merged.min(), sequential.min());
+        assert_eq!(merged.max(), sequential.max());
+
+        // Merging with empties is the identity in both directions.
+        let mut empty = Summary::new();
+        empty.merge(&sequential);
+        assert_eq!(empty, sequential);
+        let mut copy = sequential;
+        copy.merge(&Summary::new());
+        assert_eq!(copy, sequential);
+    }
+
+    #[test]
     fn matches_two_pass_computation() {
         let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
         let mut s = Summary::new();
         s.extend(data.iter().copied());
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
+        let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
         assert!((s.mean() - mean).abs() < 1e-9);
         assert!((s.std_dev() - var.sqrt()).abs() < 1e-9);
         assert!(s.ci95() > 0.0);

@@ -19,19 +19,14 @@ fn bench_netsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim");
     for packets in [50usize, 200] {
         let mut wrng = StdRng::seed_from_u64(packets as u64);
-        let load =
-            Workload::uniform_ensured(&scenario, Model::FaultBlock, packets, 4, &mut wrng);
-        group.bench_with_input(
-            BenchmarkId::new("wu_traffic", packets),
-            &load,
-            |b, load| {
-                b.iter(|| {
-                    let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
-                    load.inject_into(&mut sim);
-                    sim.run_to_completion(1_000_000).expect("bounded")
-                });
-            },
-        );
+        let load = Workload::uniform_ensured(&scenario, Model::FaultBlock, packets, 4, &mut wrng);
+        group.bench_with_input(BenchmarkId::new("wu_traffic", packets), &load, |b, load| {
+            b.iter(|| {
+                let mut sim = NetSim::new(mesh, WuRouter::new(&view, &boundary));
+                load.inject_into(&mut sim);
+                sim.run_to_completion(1_000_000).expect("bounded")
+            });
+        });
     }
     group.finish();
 }

@@ -11,9 +11,8 @@
 //!   implementation discussion, quantified).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use emr_analysis::{stats::Summary, SeriesTable, SweepConfig};
+use emr_analysis::{sweep, SeriesTable, SweepConfig};
 use emr_core::conditions::{self, PivotPolicy};
 use emr_core::{Model, Scenario};
 use emr_distsim::protocols::{boundary, esl, exchange};
@@ -22,62 +21,18 @@ use emr_fault::{inject, reach};
 use emr_mesh::{Coord, Grid, Mesh, Quadrant, Rect};
 
 /// Builds a table by running `measure` over `cfg.trials` trials per fault
-/// count with a custom fault generator (the sweep harness hard-codes the
-/// paper's uniform injection, ablations need their own).
+/// count with a custom fault generator, on the shared trial-parallel
+/// sweep engine (the default harness hard-codes the paper's uniform
+/// injection, ablations need their own).
 fn custom_sweep(
     cfg: &SweepConfig,
     series: &[&str],
     generate: impl Fn(Mesh, usize, Coord, &mut StdRng) -> emr_fault::FaultSet + Sync,
     measure: impl Fn(&Scenario, Coord, Coord, &mut StdRng) -> Vec<f64> + Sync,
 ) -> SeriesTable {
-    let mesh = Mesh::square(cfg.mesh_size);
-    let source = mesh.center();
-    let mut points = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = cfg
-            .fault_counts
-            .iter()
-            .map(|&k| {
-                let generate = &generate;
-                let measure = &measure;
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 17);
-                    let mut sums = vec![Summary::new(); series.len()];
-                    for _ in 0..cfg.trials {
-                        let scenario = loop {
-                            let faults = generate(mesh, k, source, &mut rng);
-                            let sc = Scenario::build(faults);
-                            if !sc.blocks().is_blocked(source) {
-                                break sc;
-                            }
-                        };
-                        let dest = loop {
-                            use rand::Rng;
-                            let d = Coord::new(
-                                rng.gen_range(source.x..mesh.width()),
-                                rng.gen_range(source.y..mesh.height()),
-                            );
-                            if d != source && !scenario.blocks().is_blocked(d) {
-                                break d;
-                            }
-                        };
-                        for (sum, v) in sums
-                            .iter_mut()
-                            .zip(measure(&scenario, source, dest, &mut rng))
-                        {
-                            sum.add(v);
-                        }
-                    }
-                    (k, sums)
-                })
-            })
-            .collect();
-        for h in handles {
-            points.push(h.join().expect("ablation worker"));
-        }
-    });
-    points.sort_by_key(|&(k, _)| k);
-    SeriesTable::from_parts(series.iter().map(|s| s.to_string()).collect(), points)
+    sweep::run_with(cfg, series, generate, |input, rng| {
+        measure(input.scenario, input.source, input.dest, rng)
+    })
 }
 
 fn yes(b: bool) -> f64 {
@@ -184,10 +139,7 @@ pub fn information_cost(cfg: &SweepConfig) -> SeriesTable {
                 sc.blocks().rects(),
                 blocked.clone(),
             ));
-            let mark_count: usize = mesh
-                .nodes()
-                .map(|c| marks[c].len())
-                .sum();
+            let mark_count: usize = mesh.nodes().map(|c| marks[c].len()).sum();
             let (_, x_stats) = engine.run(&exchange::RegionExchange::new(blocked, levels));
             let rows = emr_analysis::affected::affected_rows(sc.blocks());
             vec![

@@ -24,9 +24,7 @@ fn main() {
     let view = scenario.view(Model::FaultBlock);
     let boundary = scenario.boundary_map(Model::FaultBlock);
 
-    println!(
-        "{size}x{size} mesh, {faults} faults, {packets} strategy-4 packets per point\n"
-    );
+    println!("{size}x{size} mesh, {faults} faults, {packets} strategy-4 packets per point\n");
     println!(
         "{:>12} {:>10} {:>8} {:>14} {:>14} {:>10}",
         "inject/cycle", "delivered", "failed", "mean latency", "zero-load lat", "peak queue"

@@ -1,0 +1,99 @@
+//! Measures end-to-end sweep throughput and records it to
+//! `BENCH_sweep.json` so regressions show up in review.
+//!
+//! Run with `cargo run --release -p emr-bench --bin perf_report`; the
+//! usual sweep flags (`--size`, `--trials`, `--threads`, `--seed`,
+//! `--step`, `--max-faults`, `--smoke`) override the report's moderate
+//! defaults (100×100 mesh, 200 trials per point, fault counts
+//! 0..=100 step 25).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use emr_bench::CliOptions;
+use emr_core::{conditions, Model};
+use emr_fault::reach;
+
+/// The record written to `BENCH_sweep.json`.
+#[derive(Debug, Serialize)]
+struct PerfRecord {
+    /// Completed trials (scenario generation + measurement) per second.
+    trials_per_sec: f64,
+    /// Worker threads the sweep ran with.
+    threads: usize,
+    /// Mesh side length.
+    mesh_size: i32,
+    /// Total wall-clock time of the sweep in milliseconds.
+    wall_ms: f64,
+}
+
+fn main() {
+    // Report defaults first; explicit flags parse later and overwrite.
+    let defaults = [
+        "--size",
+        "100",
+        "--trials",
+        "200",
+        "--step",
+        "25",
+        "--max-faults",
+        "100",
+    ];
+    let args = defaults
+        .iter()
+        .map(|s| s.to_string())
+        .chain(std::env::args().skip(1));
+    let opts = match CliOptions::parse(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = &opts.config;
+    let threads = cfg
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
+    let total_trials = cfg.trials as u64 * cfg.fault_counts.len() as u64;
+
+    eprintln!(
+        "perf report: {size}x{size} mesh, {points} fault counts x {trials} trials, {threads} thread(s)",
+        size = cfg.mesh_size,
+        points = cfg.fault_counts.len(),
+        trials = cfg.trials,
+    );
+
+    let start = Instant::now();
+    let table = emr_analysis::sweep::run(cfg, &["safe source", "optimal"], |input, _| {
+        let (s, d) = (input.source, input.dest);
+        let view = input.scenario.view(Model::FaultBlock);
+        let yes = |b: bool| f64::from(u8::from(b));
+        vec![
+            yes(conditions::safe_source(&view, s, d).is_some()),
+            yes(reach::minimal_path_exists(
+                &input.scenario.mesh(),
+                s,
+                d,
+                |c| input.scenario.faults().is_faulty(c),
+            )),
+        ]
+    });
+    let wall = start.elapsed();
+
+    opts.emit(&table);
+
+    let record = PerfRecord {
+        trials_per_sec: total_trials as f64 / wall.as_secs_f64(),
+        threads,
+        mesh_size: cfg.mesh_size,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("serializing perf record");
+    std::fs::write("BENCH_sweep.json", format!("{json}\n")).expect("writing BENCH_sweep.json");
+    eprintln!(
+        "\n{:.1} trials/sec over {:.0} ms -> BENCH_sweep.json",
+        record.trials_per_sec, record.wall_ms
+    );
+}

@@ -7,9 +7,7 @@
 use rand::rngs::StdRng;
 
 use emr_analysis::{affected, sweep, SeriesTable, SweepConfig};
-use emr_core::conditions::{
-    self, PivotPolicy, SegmentSize, StrategyKind, StrategyParams,
-};
+use emr_core::conditions::{self, PivotPolicy, SegmentSize, StrategyKind, StrategyParams};
 use emr_core::{Ensured, Model, Scenario};
 use emr_fault::reach;
 use emr_mesh::Coord;
@@ -263,6 +261,7 @@ mod tests {
             trials: 25,
             fault_counts: vec![0, 8, 16],
             seed: 99,
+            threads: None,
         }
     }
 

@@ -18,8 +18,9 @@ use emr_analysis::SweepConfig;
 /// Command-line options shared by the figure binaries.
 ///
 /// Flags: `--trials N`, `--size N`, `--step N`, `--max-faults N`,
-/// `--seed N`, `--smoke` (tiny fast run), `--csv` (CSV instead of an
-/// aligned table).
+/// `--seed N`, `--threads N` (sweep worker threads; default one per
+/// core), `--smoke` (tiny fast run), `--csv` (CSV instead of an aligned
+/// table).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliOptions {
     /// The sweep configuration assembled from the flags.
@@ -51,6 +52,13 @@ impl CliOptions {
             };
             match arg.as_str() {
                 "--trials" => config.trials = take("--trials")? as u32,
+                "--threads" => {
+                    let n = take("--threads")? as usize;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    config.threads = Some(n);
+                }
                 "--size" => config.mesh_size = take("--size")? as i32,
                 "--seed" => config.seed = take("--seed")?,
                 "--step" => step = take("--step")? as usize,
@@ -63,7 +71,7 @@ impl CliOptions {
                 "--csv" => csv = true,
                 "--help" | "-h" => {
                     return Err(
-                        "flags: --trials N --size N --step N --max-faults N --seed N --smoke --csv"
+                        "flags: --trials N --size N --step N --max-faults N --seed N --threads N --smoke --csv"
                             .to_string(),
                     )
                 }
@@ -117,13 +125,30 @@ mod tests {
     #[test]
     fn flags_override() {
         let opts = parse(&[
-            "--trials", "50", "--size", "60", "--step", "20", "--max-faults", "100", "--csv",
+            "--trials",
+            "50",
+            "--size",
+            "60",
+            "--step",
+            "20",
+            "--max-faults",
+            "100",
+            "--csv",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(opts.config.trials, 50);
         assert_eq!(opts.config.mesh_size, 60);
         assert_eq!(opts.config.fault_counts, vec![0, 20, 40, 60, 80, 100]);
+        assert_eq!(opts.config.threads, Some(4));
         assert!(opts.csv);
+    }
+
+    #[test]
+    fn threads_zero_is_rejected() {
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert_eq!(parse(&[]).unwrap().config.threads, None);
     }
 
     #[test]

@@ -105,8 +105,7 @@ mod tests {
         // Column x=1 is L3 of the lower block; below the lower block the
         // joined contour of the upper block passes through it too.
         let marks = map.marks_at(Coord::new(1, 0));
-        let blocks_here: std::collections::HashSet<_> =
-            marks.iter().map(|m| m.block).collect();
+        let blocks_here: std::collections::HashSet<_> = marks.iter().map(|m| m.block).collect();
         assert_eq!(blocks_here.len(), 2, "joined contour carries both blocks");
     }
 

@@ -112,7 +112,10 @@ mod tests {
         let d = Coord::new(8, 4);
         assert!(safe_source(&view, s, d).is_none());
         let got = ext1(&view, s, d).unwrap();
-        assert_eq!(got, Ensured::Minimal(RoutePlan::ViaNeighbor(Coord::new(2, 3))));
+        assert_eq!(
+            got,
+            Ensured::Minimal(RoutePlan::ViaNeighbor(Coord::new(2, 3)))
+        );
     }
 
     #[test]
@@ -129,7 +132,9 @@ mod tests {
         let got = ext1(&view, s, d);
         assert_eq!(
             got,
-            Some(Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(3, 2))))
+            Some(Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(
+                3, 2
+            ))))
         );
     }
 

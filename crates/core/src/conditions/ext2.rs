@@ -93,10 +93,7 @@ pub fn ext2_with_policy(
     let esl_s = view.level_for(s, s, d);
 
     // Try the x axis (travel relative East first), then the y axis.
-    for (axis_dir, limit) in [
-        (Direction::East, rel_d.x),
-        (Direction::North, rel_d.y),
-    ] {
+    for (axis_dir, limit) in [(Direction::East, rel_d.x), (Direction::North, rel_d.y)] {
         let abs_axis = frame.dir_to_abs(axis_dir);
         // The axis section [0, limit] must be clear: limit < ESL toward it.
         if limit as Dist >= esl_s.toward(abs_axis) {
@@ -304,9 +301,16 @@ mod tests {
                     continue;
                 }
                 let full = ext2(&view, s, d, SegmentSize::Size(1)).is_some();
-                for seg in [SegmentSize::Size(5), SegmentSize::Size(10), SegmentSize::Max] {
+                for seg in [
+                    SegmentSize::Size(5),
+                    SegmentSize::Size(10),
+                    SegmentSize::Max,
+                ] {
                     if ext2(&view, s, d, seg).is_some() {
-                        assert!(full, "seed {seed}: segment {seg:?} found what full info missed");
+                        assert!(
+                            full,
+                            "seed {seed}: segment {seg:?} found what full info missed"
+                        );
                     }
                 }
             }
@@ -368,9 +372,7 @@ mod tests {
                     for plan in [single, per_dir].into_iter().flatten() {
                         if let RoutePlan::ViaAxis(w) = plan {
                             let wf = Frame::normalizing(w, d);
-                            assert!(view
-                                .level_for(w, w, d)
-                                .safe_for(&wf, wf.to_rel(d)));
+                            assert!(view.level_for(w, w, d).safe_for(&wf, wf.to_rel(d)));
                         }
                     }
                 }

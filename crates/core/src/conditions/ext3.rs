@@ -77,7 +77,13 @@ fn latin_pivots(region: Rect, level: u32, rng: &mut impl Rng) -> Vec<Coord> {
         .map(|i| {
             Coord::new(
                 band(region.x_min(), region.width(), count, i, rng),
-                band(region.y_min(), region.height(), count, perm[i as usize], rng),
+                band(
+                    region.y_min(),
+                    region.height(),
+                    count,
+                    perm[i as usize],
+                    rng,
+                ),
             )
         })
         .collect()
@@ -109,7 +115,12 @@ fn recurse(
         return;
     }
     // The four subregions strictly beside the pivot.
-    let (x0, x1, y0, y1) = (region.x_min(), region.x_max(), region.y_min(), region.y_max());
+    let (x0, x1, y0, y1) = (
+        region.x_min(),
+        region.x_max(),
+        region.y_min(),
+        region.y_max(),
+    );
     let horizontal = [(x0, p.x - 1), (p.x + 1, x1)];
     let vertical = [(y0, p.y - 1), (p.y + 1, y1)];
     for &(xa, xb) in &horizontal {

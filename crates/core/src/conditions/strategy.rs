@@ -240,7 +240,9 @@ mod tests {
         };
         assert_eq!(
             strategy_with(&view, s, d, StrategyKind::S2, &params),
-            Some(Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(3, 2))))
+            Some(Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(
+                3, 2
+            ))))
         );
         // Strategy 1's extension 2 finds a minimal route on the clear
         // column instead.

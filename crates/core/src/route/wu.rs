@@ -1,8 +1,8 @@
 //! Wu's boundary-information routing protocol.
 
-use emr_mesh::{Coord, Direction, Frame, Path};
 #[cfg(test)]
 use emr_mesh::Rect;
+use emr_mesh::{Coord, Direction, Frame, Path};
 
 use crate::boundary::{BoundaryLine, BoundaryMap};
 use crate::route::RouteError;
@@ -336,12 +336,7 @@ mod tests {
         let d = Coord::new(8, 8);
         // The full-height wall seals the mesh: the oracle confirms no
         // minimal path exists.
-        assert!(!reach::minimal_path_exists(
-            &sc.mesh(),
-            s,
-            d,
-            |c| view.is_obstacle(c, s, d)
-        ));
+        assert!(!reach::minimal_path_exists(&sc.mesh(), s, d, |c| view.is_obstacle(c, s, d)));
         assert!(wu_route(&view, &boundary, s, d).is_err());
     }
 

@@ -3,6 +3,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use emr_distsim::protocols::{esl, EslTuple};
+use emr_fault::workspace::{with_scratch, Workspace};
 use emr_fault::{BlockMap, MccMap};
 use emr_mesh::{Coord, Direction, Dist, Frame, Grid, Mesh, UNBOUNDED};
 
@@ -125,22 +126,59 @@ pub struct SafetyMap {
 impl SafetyMap {
     /// Computes the safety levels for an arbitrary obstacle grid.
     pub fn compute(blocked: &Grid<bool>) -> SafetyMap {
-        let tuples = esl::compute_global(blocked);
+        with_scratch(|ws| SafetyMap::compute_with(blocked, ws))
+    }
+
+    /// [`SafetyMap::compute`] reusing a caller-owned scratch
+    /// [`Workspace`] for the directional-sweep tuple grid (the level map
+    /// itself is part of the result and always allocated).
+    pub fn compute_with(blocked: &Grid<bool>, ws: &mut Workspace) -> SafetyMap {
+        esl::compute_global_into(blocked, &mut ws.tuples);
         SafetyMap {
-            levels: tuples.map(|&t| SafetyLevel::from_tuple(t)),
+            levels: ws.tuples.map(|&t| SafetyLevel::from_tuple(t)),
         }
     }
 
     /// Computes the safety levels under the faulty-block model.
     pub fn for_blocks(blocks: &BlockMap) -> SafetyMap {
-        let grid = Grid::from_fn(blocks.mesh(), |c| blocks.is_blocked(c));
-        SafetyMap::compute(&grid)
+        with_scratch(|ws| SafetyMap::for_blocks_with(blocks, ws))
+    }
+
+    /// [`SafetyMap::for_blocks`] on a scratch [`Workspace`].
+    pub fn for_blocks_with(blocks: &BlockMap, ws: &mut Workspace) -> SafetyMap {
+        Self::for_obstacles_with(blocks.mesh(), |c| blocks.is_blocked(c), ws)
     }
 
     /// Computes the safety levels under one MCC labeling.
     pub fn for_mcc(mcc: &MccMap) -> SafetyMap {
-        let grid = Grid::from_fn(mcc.mesh(), |c| mcc.is_blocked(c));
-        SafetyMap::compute(&grid)
+        with_scratch(|ws| SafetyMap::for_mcc_with(mcc, ws))
+    }
+
+    /// [`SafetyMap::for_mcc`] on a scratch [`Workspace`].
+    pub fn for_mcc_with(mcc: &MccMap, ws: &mut Workspace) -> SafetyMap {
+        Self::for_obstacles_with(mcc.mesh(), |c| mcc.is_blocked(c), ws)
+    }
+
+    /// Shared body of the model-specific constructors: materialize the
+    /// obstacle predicate into a scratch plane, then sweep.
+    fn for_obstacles_with(
+        mesh: Mesh,
+        is_blocked: impl Fn(Coord) -> bool,
+        ws: &mut Workspace,
+    ) -> SafetyMap {
+        let Workspace {
+            mark_a: blocked,
+            tuples,
+            ..
+        } = ws;
+        blocked.reset(mesh, false);
+        for c in mesh.nodes() {
+            blocked[c] = is_blocked(c);
+        }
+        esl::compute_global_into(blocked, tuples);
+        SafetyMap {
+            levels: tuples.map(|&t| SafetyLevel::from_tuple(t)),
+        }
     }
 
     /// The mesh covered.

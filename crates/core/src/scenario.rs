@@ -1,3 +1,5 @@
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use emr_fault::{BlockMap, FaultSet, MccMap, MccType};
@@ -24,39 +26,53 @@ impl Model {
     pub const ALL: [Model; 2] = [Model::FaultBlock, Model::Mcc];
 }
 
-/// One fault configuration, decomposed once under both fault models with
-/// the corresponding safety maps.
+/// One fault configuration, decomposed under both fault models with the
+/// corresponding safety maps.
 ///
-/// Building a scenario runs: Definition 1 block formation, both MCC
-/// labelings, and three safety-level sweeps (blocks, MCC type-one, MCC
-/// type-two). Boundary maps are built on demand via
-/// [`Scenario::boundary_map`].
+/// Building a scenario runs Definition 1 block formation eagerly (every
+/// consumer needs it — trial generation rejects scenarios whose source
+/// lands in a block). The MCC labelings and the three safety-level sweeps
+/// (blocks, MCC type-one, MCC type-two) are computed lazily on first use:
+/// most sweep measures touch only one model, and the experiment engine
+/// discards rejected scenarios before any of them is consulted. Boundary
+/// maps are likewise built on demand via [`Scenario::boundary_map`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     faults: FaultSet,
     blocks: BlockMap,
-    mcc: [MccMap; 2],
-    block_safety: SafetyMap,
-    mcc_safety: [SafetyMap; 2],
+    mcc: [OnceLock<MccMap>; 2],
+    block_safety: OnceLock<SafetyMap>,
+    mcc_safety: [OnceLock<SafetyMap>; 2],
 }
 
 impl Scenario {
     /// Decomposes a fault set under both models.
     pub fn build(faults: FaultSet) -> Scenario {
-        let blocks = BlockMap::build(&faults);
-        let mcc = [
-            MccMap::build(&faults, MccType::One),
-            MccMap::build(&faults, MccType::Two),
-        ];
-        let block_safety = SafetyMap::for_blocks(&blocks);
-        let mcc_safety = [SafetyMap::for_mcc(&mcc[0]), SafetyMap::for_mcc(&mcc[1])];
+        emr_fault::workspace::with_scratch(|ws| Scenario::build_with(faults, ws))
+    }
+
+    /// [`Scenario::build`] reusing a caller-owned scratch
+    /// [`emr_fault::Workspace`] for the eager block formation. The lazy
+    /// maps cannot borrow the workspace (they initialize at arbitrary
+    /// later call sites), so they fall back to the thread-local scratch.
+    pub fn build_with(faults: FaultSet, ws: &mut emr_fault::Workspace) -> Scenario {
+        let blocks = BlockMap::build_with(&faults, ws);
         Scenario {
             faults,
             blocks,
-            mcc,
-            block_safety,
-            mcc_safety,
+            mcc: [OnceLock::new(), OnceLock::new()],
+            block_safety: OnceLock::new(),
+            mcc_safety: [OnceLock::new(), OnceLock::new()],
         }
+    }
+
+    fn block_safety(&self) -> &SafetyMap {
+        self.block_safety
+            .get_or_init(|| SafetyMap::for_blocks(&self.blocks))
+    }
+
+    fn mcc_safety(&self, ty: MccType) -> &SafetyMap {
+        self.mcc_safety[mcc_index(ty)].get_or_init(|| SafetyMap::for_mcc(self.mcc(ty)))
     }
 
     /// The mesh this scenario lives in.
@@ -74,9 +90,9 @@ impl Scenario {
         &self.blocks
     }
 
-    /// The MCC decomposition for one labeling type.
+    /// The MCC decomposition for one labeling type (built on first use).
     pub fn mcc(&self, ty: MccType) -> &MccMap {
-        &self.mcc[mcc_index(ty)]
+        self.mcc[mcc_index(ty)].get_or_init(|| MccMap::build(&self.faults, ty))
     }
 
     /// A view of this scenario under one fault model; most conditions and
@@ -177,10 +193,8 @@ impl<'a> ModelView<'a> {
     /// The safety level of `u` for routes from `s` to `d`.
     pub fn level_for(&self, u: Coord, s: Coord, d: Coord) -> SafetyLevel {
         match self.model {
-            Model::FaultBlock => self.scenario.block_safety.level(u),
-            Model::Mcc => {
-                self.scenario.mcc_safety[mcc_index(MccType::for_route(s, d))].level(u)
-            }
+            Model::FaultBlock => self.scenario.block_safety().level(u),
+            Model::Mcc => self.scenario.mcc_safety(MccType::for_route(s, d)).level(u),
         }
     }
 
@@ -205,10 +219,8 @@ mod tests {
 
     fn scenario() -> Scenario {
         let mesh = Mesh::square(12);
-        let faults = FaultSet::from_coords(
-            mesh,
-            [Coord::new(5, 5), Coord::new(6, 6), Coord::new(2, 9)],
-        );
+        let faults =
+            FaultSet::from_coords(mesh, [Coord::new(5, 5), Coord::new(6, 6), Coord::new(2, 9)]);
         Scenario::build(faults)
     }
 
@@ -219,7 +231,7 @@ mod tests {
         let mc = sc.view(Model::Mcc);
         let s = Coord::new(0, 0);
         let d = Coord::new(11, 11); // quadrant I → MCC type-one
-        // The diagonal pocket (5,6) is disabled under blocks.
+                                    // The diagonal pocket (5,6) is disabled under blocks.
         let pocket = Coord::new(5, 6);
         assert!(fb.is_obstacle(pocket, s, d));
         assert_eq!(
@@ -236,13 +248,29 @@ mod tests {
         let d1 = Coord::new(11, 11); // quadrant I
         let d2 = Coord::new(0, 11); // quadrant II
         for c in sc.mesh().nodes() {
+            assert_eq!(mc.is_obstacle(c, s, d1), sc.mcc(MccType::One).is_blocked(c));
+            assert_eq!(mc.is_obstacle(c, s, d2), sc.mcc(MccType::Two).is_blocked(c));
+        }
+    }
+
+    #[test]
+    fn lazy_maps_are_stable_and_shared_across_views() {
+        let sc = scenario();
+        // Repeated access returns the same lazily-built map, not a rebuild.
+        let p1: *const MccMap = sc.mcc(MccType::One);
+        let p2: *const MccMap = sc.mcc(MccType::One);
+        assert_eq!(p1, p2);
+        // A clone (initialized or not) answers identically.
+        let fresh = Scenario::build(sc.faults().clone());
+        let (s, d) = (Coord::new(0, 0), Coord::new(11, 11));
+        for c in sc.mesh().nodes() {
             assert_eq!(
-                mc.is_obstacle(c, s, d1),
-                sc.mcc(MccType::One).is_blocked(c)
+                sc.view(Model::Mcc).level_for(c, s, d),
+                fresh.view(Model::Mcc).level_for(c, s, d)
             );
             assert_eq!(
-                mc.is_obstacle(c, s, d2),
-                sc.mcc(MccType::Two).is_blocked(c)
+                sc.view(Model::FaultBlock).is_obstacle(c, s, d),
+                fresh.view(Model::FaultBlock).is_obstacle(c, s, d)
             );
         }
     }

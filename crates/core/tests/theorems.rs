@@ -44,7 +44,9 @@ fn check_plan(
     let view = sc.view(model);
     // Soundness of the condition: the oracle must find a minimal path.
     if !reach::minimal_path_exists(&sc.mesh(), s, d, |c| view.is_obstacle(c, s, d)) {
-        return Err(format!("{model:?}: ensured but no minimal path s={s} d={d}"));
+        return Err(format!(
+            "{model:?}: ensured but no minimal path s={s} d={d}"
+        ));
     }
     // Soundness of the construction: Wu's protocol with the model's
     // boundary information realizes the guarantee. Under the faulty-block

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark prints one `name ... time/iter`
+//! line to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier. Stable Rust's `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration of the last `iter` call.
+    per_iter: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-call cost with a single invocation.
+        let probe = Instant::now();
+        black_box(routine());
+        let probe_cost = probe.elapsed().max(Duration::from_nanos(1));
+
+        // Pick an iteration count that roughly fills the measurement window.
+        let target = self.measurement_time;
+        let iters = (target.as_nanos() / probe_cost.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter = start.elapsed() / iters as u32;
+    }
+}
+
+/// Top-level harness handle, passed to each `criterion_group!` target.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        let name = name.into();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut best = Duration::MAX;
+        // A handful of samples; report the fastest (least-noise) one.
+        let samples = self.sample_size.clamp(1, 20);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+                measurement_time: self.measurement_time / samples as u32,
+            };
+            f(&mut b);
+            if b.per_iter > Duration::ZERO && b.per_iter < best {
+                best = b.per_iter;
+            }
+        }
+        if best == Duration::MAX {
+            best = Duration::ZERO;
+        }
+        println!("bench: {name:<50} {:>12.1?}/iter", best);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3i32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+}

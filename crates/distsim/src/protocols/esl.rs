@@ -100,8 +100,16 @@ impl Protocol for EslFormation {
 /// row/column. Used to validate the protocol and by `emr-core` as the fast
 /// path for large meshes.
 pub fn compute_global(blocked: &Grid<bool>) -> Grid<EslTuple> {
+    let mut out = Grid::new(blocked.mesh(), ESL_DEFAULT);
+    compute_global_into(blocked, &mut out);
+    out
+}
+
+/// [`compute_global`] writing into a caller-provided grid (reset here),
+/// so repeated sweeps reuse one allocation.
+pub fn compute_global_into(blocked: &Grid<bool>, out: &mut Grid<EslTuple>) {
     let mesh = blocked.mesh();
-    let mut out = Grid::new(mesh, ESL_DEFAULT);
+    out.reset(mesh, ESL_DEFAULT);
     for dir in Direction::ALL {
         // Sweep opposite to `dir`: distances toward `dir` grow as we move
         // away from each block.
@@ -142,9 +150,7 @@ pub fn compute_global(blocked: &Grid<bool>) -> Grid<EslTuple> {
             }
         }
     }
-    out
 }
-
 
 /// The disturbance messages a *newly formed* block injects into an
 /// already-converged safety-level state: distance-0 announcements from the

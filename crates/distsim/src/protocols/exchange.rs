@@ -294,8 +294,8 @@ mod tests {
         // On the affected row y=2 the two regions know their full extent.
         assert_eq!(dist[Coord::new(1, 2)].row.len(), 3); // x = 0..=2
         assert_eq!(dist[Coord::new(5, 2)].row.len(), 3); // x = 4..=6
-        // On an unaffected row, nodes know only themselves along the row,
-        // but their (affected) column still exchanges.
+                                                         // On an unaffected row, nodes know only themselves along the row,
+                                                         // but their (affected) column still exchanges.
         assert_eq!(dist[Coord::new(1, 0)].row.len(), 1);
         assert_eq!(dist[Coord::new(3, 0)].col.len(), 2); // y = 0..=1
     }

@@ -164,20 +164,13 @@ impl MccLabeling {
     /// Re-evaluates the two rules at `c`, announcing label changes.
     fn evaluate(&self, mesh: &Mesh, c: Coord, state: &mut MccState) -> Vec<(Coord, MccStatusMsg)> {
         let mut sends = Vec::new();
-        if !state.useless
-            && self.fwd.iter().all(|d| state.fwd_blocked[d.index()])
-        {
+        if !state.useless && self.fwd.iter().all(|d| state.fwd_blocked[d.index()]) {
             state.useless = true;
             // Only the opposite-side neighbors consult our forward status,
             // but announcing to all is harmless and simpler.
-            sends.extend(
-                mesh.neighbors(c)
-                    .map(|n| (n, MccStatusMsg::ForwardBlocked)),
-            );
+            sends.extend(mesh.neighbors(c).map(|n| (n, MccStatusMsg::ForwardBlocked)));
         }
-        if !state.cant_reach
-            && self.bwd.iter().all(|d| state.bwd_blocked[d.index()])
-        {
+        if !state.cant_reach && self.bwd.iter().all(|d| state.bwd_blocked[d.index()]) {
             state.cant_reach = true;
             sends.extend(
                 mesh.neighbors(c)

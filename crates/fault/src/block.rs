@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use emr_mesh::{Coord, Direction, Grid, Mesh, Rect};
 
+use crate::workspace::{with_scratch, Workspace};
 use crate::FaultSet;
 
 /// The status of a node under the faulty-block model (Definition 1).
@@ -86,6 +87,13 @@ impl BlockMap {
     /// faulty neighbors in different dimensions"). Off-mesh positions count
     /// as healthy.
     pub fn build(faults: &FaultSet) -> BlockMap {
+        with_scratch(|ws| BlockMap::build_with(faults, ws))
+    }
+
+    /// [`BlockMap::build`] reusing a caller-owned scratch [`Workspace`]
+    /// for the worklist and component-extraction buffers (the per-node
+    /// state grid is part of the returned map and always allocated).
+    pub fn build_with(faults: &FaultSet, ws: &mut Workspace) -> BlockMap {
         let mesh = faults.mesh();
         let mut state = Grid::from_fn(mesh, |c| {
             if faults.is_faulty(c) {
@@ -97,26 +105,23 @@ impl BlockMap {
 
         // Worklist fix-point: whenever a node turns faulty/disabled its
         // enabled neighbors become candidates.
-        let mut queue: VecDeque<Coord> = faults
-            .iter()
-            .flat_map(|f| mesh.neighbors(f))
-            .collect();
+        let queue = &mut ws.queue;
+        queue.clear();
+        queue.extend(faults.iter().flat_map(|f| mesh.neighbors(f)));
         while let Some(u) = queue.pop_front() {
             if state[u] != NodeState::Enabled {
                 continue;
             }
             let blocked = |c: Coord| state.get(c).is_some_and(|s| s.is_blocked());
-            let x_blocked =
-                blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
-            let y_blocked =
-                blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
+            let x_blocked = blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
+            let y_blocked = blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
             if x_blocked && y_blocked {
                 state[u] = NodeState::Disabled;
                 queue.extend(mesh.neighbors(u));
             }
         }
 
-        let blocks = extract_blocks(mesh, &state);
+        let blocks = extract_blocks(mesh, &state, ws);
         let map = BlockMap {
             mesh,
             state,
@@ -191,10 +196,8 @@ impl BlockMap {
                 continue;
             }
             let blocked = |v: Coord| self.state.get(v).is_some_and(|s| s.is_blocked());
-            let x_blocked =
-                blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
-            let y_blocked =
-                blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
+            let x_blocked = blocked(u.step(Direction::East)) || blocked(u.step(Direction::West));
+            let y_blocked = blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
             if x_blocked && y_blocked {
                 self.state[u] = NodeState::Disabled;
                 queue.extend(self.mesh.neighbors(u));
@@ -247,8 +250,9 @@ impl BlockMap {
     }
 }
 
-fn extract_blocks(mesh: Mesh, state: &Grid<NodeState>) -> Vec<FaultyBlock> {
-    let mut visited = Grid::new(mesh, false);
+fn extract_blocks(mesh: Mesh, state: &Grid<NodeState>, ws: &mut Workspace) -> Vec<FaultyBlock> {
+    let Workspace { queue, visited, .. } = ws;
+    visited.reset(mesh, false);
     let mut blocks = Vec::new();
     for start in mesh.nodes() {
         if visited[start] || !state[start].is_blocked() {
@@ -258,7 +262,8 @@ fn extract_blocks(mesh: Mesh, state: &Grid<NodeState>) -> Vec<FaultyBlock> {
         let mut rect = Rect::point(start);
         let mut faulty_nodes = 0;
         let mut disabled_nodes = 0;
-        let mut queue = VecDeque::from([start]);
+        queue.clear();
+        queue.push_back(start);
         visited[start] = true;
         while let Some(u) = queue.pop_front() {
             rect = rect.expanded_to(u);
@@ -454,7 +459,11 @@ mod tests {
             for n in mesh.nodes() {
                 assert_eq!(incremental.state(n), rebuilt.state(n), "seed {seed} at {n}");
             }
-            assert_eq!(incremental.blocks().len(), rebuilt.blocks().len(), "seed {seed}");
+            assert_eq!(
+                incremental.blocks().len(),
+                rebuilt.blocks().len(),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -21,16 +21,8 @@ use crate::FaultSet;
 /// # Panics
 ///
 /// Panics if `count` exceeds the number of eligible nodes.
-pub fn uniform(
-    mesh: Mesh,
-    count: usize,
-    forbidden: &[Coord],
-    rng: &mut impl Rng,
-) -> FaultSet {
-    let eligible: Vec<Coord> = mesh
-        .nodes()
-        .filter(|c| !forbidden.contains(c))
-        .collect();
+pub fn uniform(mesh: Mesh, count: usize, forbidden: &[Coord], rng: &mut impl Rng) -> FaultSet {
+    let eligible: Vec<Coord> = mesh.nodes().filter(|c| !forbidden.contains(c)).collect();
     assert!(
         count <= eligible.len(),
         "cannot place {count} faults among {} eligible nodes",

@@ -46,7 +46,9 @@ mod fault_set;
 pub mod inject;
 mod mcc;
 pub mod reach;
+pub mod workspace;
 
 pub use block::{BlockMap, FaultyBlock, NodeState};
 pub use fault_set::FaultSet;
 pub use mcc::{Mcc, MccMap, MccStatus, MccType};
+pub use workspace::Workspace;

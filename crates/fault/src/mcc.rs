@@ -1,9 +1,8 @@
-use std::collections::VecDeque;
-
 use serde::{Deserialize, Serialize};
 
 use emr_mesh::{Coord, Direction, Grid, Mesh, Quadrant, Rect};
 
+use crate::workspace::{with_scratch, Workspace};
 use crate::FaultSet;
 
 /// Which pair of routing quadrants an MCC labeling serves.
@@ -129,6 +128,12 @@ impl MccMap {
     /// labeling exact for minimal routing (property-tested against the
     /// monotone-reachability oracle).
     pub fn build(faults: &FaultSet, ty: MccType) -> MccMap {
+        with_scratch(|ws| MccMap::build_with(faults, ty, ws))
+    }
+
+    /// [`MccMap::build`] reusing a caller-owned scratch [`Workspace`] for
+    /// the three labeling planes and the component-extraction buffers.
+    pub fn build_with(faults: &FaultSet, ty: MccType, ws: &mut Workspace) -> MccMap {
         let mesh = faults.mesh();
         // Forward neighbors (blocking "useless") and backward neighbors
         // (blocking "can't-reach") for this type. Type-one quadrant I:
@@ -144,9 +149,18 @@ impl MccMap {
             ),
         };
 
-        let faulty = Grid::from_fn(mesh, |c| faults.is_faulty(c));
-        let useless = sweep_label(mesh, &faulty, fwd);
-        let cant_reach = sweep_label(mesh, &faulty, bwd);
+        let Workspace {
+            mark_a: faulty,
+            mark_b: useless,
+            mark_c: cant_reach,
+            ..
+        } = ws;
+        faulty.reset(mesh, false);
+        for c in mesh.nodes() {
+            faulty[c] = faults.is_faulty(c);
+        }
+        sweep_label_into(mesh, faulty, fwd, useless);
+        sweep_label_into(mesh, faulty, bwd, cant_reach);
 
         let status = Grid::from_fn(mesh, |c| {
             if faulty[c] {
@@ -160,7 +174,7 @@ impl MccMap {
             }
         });
 
-        let components = extract_components(mesh, &status);
+        let components = extract_components(mesh, &status, ws);
         MccMap {
             mesh,
             ty,
@@ -212,38 +226,31 @@ impl MccMap {
 /// One monotone sweep computes a label whose rule is "fault-free node with
 /// both `dirs` neighbors faulty-or-labeled". Processing nodes in an order
 /// where both `dirs` neighbors come first makes a single pass reach the
-/// fix-point.
-fn sweep_label(mesh: Mesh, faulty: &Grid<bool>, dirs: [Direction; 2]) -> Grid<bool> {
-    let mut label = Grid::new(mesh, false);
-    let xs: Vec<i32> = if dirs.contains(&Direction::East) {
-        (0..mesh.width()).rev().collect()
-    } else {
-        (0..mesh.width()).collect()
-    };
-    let ys: Vec<i32> = if dirs.contains(&Direction::North) {
-        (0..mesh.height()).rev().collect()
-    } else {
-        (0..mesh.height()).collect()
-    };
-    for &y in &ys {
-        for &x in &xs {
+/// fix-point. Writes into a caller-provided grid (reset here) so the hot
+/// path allocates nothing.
+fn sweep_label_into(mesh: Mesh, faulty: &Grid<bool>, dirs: [Direction; 2], label: &mut Grid<bool>) {
+    label.reset(mesh, false);
+    let x_rev = dirs.contains(&Direction::East);
+    let y_rev = dirs.contains(&Direction::North);
+    for yi in 0..mesh.height() {
+        let y = if y_rev { mesh.height() - 1 - yi } else { yi };
+        for xi in 0..mesh.width() {
+            let x = if x_rev { mesh.width() - 1 - xi } else { xi };
             let u = Coord::new(x, y);
             if faulty[u] {
                 continue;
             }
-            let blocked = |c: Coord| {
-                mesh.contains(c) && (faulty[c] || label[c])
-            };
+            let blocked = |c: Coord| mesh.contains(c) && (faulty[c] || label[c]);
             if blocked(u.step(dirs[0])) && blocked(u.step(dirs[1])) {
                 label[u] = true;
             }
         }
     }
-    label
 }
 
-fn extract_components(mesh: Mesh, status: &Grid<MccStatus>) -> Vec<Mcc> {
-    let mut visited = Grid::new(mesh, false);
+fn extract_components(mesh: Mesh, status: &Grid<MccStatus>, ws: &mut Workspace) -> Vec<Mcc> {
+    let Workspace { queue, visited, .. } = ws;
+    visited.reset(mesh, false);
     let mut components = Vec::new();
     for start in mesh.nodes() {
         if visited[start] || !status[start].is_blocked() {
@@ -253,7 +260,8 @@ fn extract_components(mesh: Mesh, status: &Grid<MccStatus>) -> Vec<Mcc> {
         let mut nodes = Vec::new();
         let mut faulty_nodes = 0;
         let mut disabled_nodes = 0;
-        let mut queue = VecDeque::from([start]);
+        queue.clear();
+        queue.push_back(start);
         visited[start] = true;
         while let Some(u) = queue.pop_front() {
             rect = rect.expanded_to(u);
@@ -414,11 +422,7 @@ mod tests {
         let f = figure_1_faults();
         let one = MccMap::build(&f, MccType::One);
         let total: usize = one.components().iter().map(|m| m.nodes().len()).sum();
-        let blocked = f
-            .mesh()
-            .nodes()
-            .filter(|&c| one.is_blocked(c))
-            .count();
+        let blocked = f.mesh().nodes().filter(|&c| one.is_blocked(c)).count();
         assert_eq!(total, blocked);
         for m in one.components() {
             for &c in m.nodes() {

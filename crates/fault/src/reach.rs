@@ -11,6 +11,8 @@
 
 use emr_mesh::{Coord, Frame, Grid, Mesh, Path, Rect};
 
+use crate::workspace::{with_scratch, Workspace};
+
 /// Whether a minimal path from `s` to `d` exists that avoids every node for
 /// which `blocked` returns true.
 ///
@@ -35,10 +37,22 @@ pub fn minimal_path_exists(
     d: Coord,
     blocked: impl Fn(Coord) -> bool,
 ) -> bool {
-    reach_table(mesh, s, d, &blocked)
-        .map(|(table, frame)| {
+    with_scratch(|ws| minimal_path_exists_with(mesh, s, d, blocked, ws))
+}
+
+/// [`minimal_path_exists`] reusing a caller-owned scratch [`Workspace`]
+/// for the DP table.
+pub fn minimal_path_exists_with(
+    mesh: &Mesh,
+    s: Coord,
+    d: Coord,
+    blocked: impl Fn(Coord) -> bool,
+    ws: &mut Workspace,
+) -> bool {
+    reach_table_into(mesh, s, d, &blocked, &mut ws.table)
+        .map(|frame| {
             let rd = frame.to_rel(d);
-            table[Coord::new(rd.x, rd.y)]
+            ws.table[Coord::new(rd.x, rd.y)]
         })
         .unwrap_or(false)
 }
@@ -52,7 +66,20 @@ pub fn minimal_path(
     d: Coord,
     blocked: impl Fn(Coord) -> bool,
 ) -> Option<Path> {
-    let (table, frame) = reach_table(mesh, s, d, &blocked)?;
+    with_scratch(|ws| minimal_path_with(mesh, s, d, blocked, ws))
+}
+
+/// [`minimal_path`] reusing a caller-owned scratch [`Workspace`] for the
+/// DP table (the returned [`Path`] is always freshly allocated).
+pub fn minimal_path_with(
+    mesh: &Mesh,
+    s: Coord,
+    d: Coord,
+    blocked: impl Fn(Coord) -> bool,
+    ws: &mut Workspace,
+) -> Option<Path> {
+    let frame = reach_table_into(mesh, s, d, &blocked, &mut ws.table)?;
+    let table = &ws.table;
     let rd = frame.to_rel(d);
     if !table[rd] {
         return None;
@@ -73,13 +100,15 @@ pub fn minimal_path(
 }
 
 /// Forward DP over the normalized rectangle: `table[c]` says whether a
-/// monotone path from the source reaches relative coordinate `c`.
-fn reach_table(
+/// monotone path from the source reaches relative coordinate `c`. Fills
+/// the caller's table in place (reset to the route rectangle's size).
+fn reach_table_into(
     mesh: &Mesh,
     s: Coord,
     d: Coord,
     blocked: &impl Fn(Coord) -> bool,
-) -> Option<(Grid<bool>, Frame)> {
+    table: &mut Grid<bool>,
+) -> Option<Frame> {
     if !mesh.contains(s) || !mesh.contains(d) || blocked(s) || blocked(d) {
         return None;
     }
@@ -88,7 +117,7 @@ fn reach_table(
     // A grid over the relative rectangle [0..rd.x, 0..rd.y]; reuse Grid by
     // treating it as a (rd.x+1) × (rd.y+1) mesh.
     let table_mesh = Mesh::new(rd.x + 1, rd.y + 1);
-    let mut table = Grid::new(table_mesh, false);
+    table.reset(table_mesh, false);
     for rc in Rect::new(0, rd.x, 0, rd.y).iter() {
         let abs = frame.to_abs(rc);
         if !mesh.contains(abs) || blocked(abs) {
@@ -99,7 +128,7 @@ fn reach_table(
             || (rc.y > 0 && table[Coord::new(rc.x, rc.y - 1)]);
         table[rc] = reachable;
     }
-    Some((table, frame))
+    Some(frame)
 }
 
 #[cfg(test)]

@@ -1,0 +1,108 @@
+//! Reusable scratch buffers for the hot decomposition loops.
+//!
+//! Building a [`crate::BlockMap`], an [`crate::MccMap`], or a
+//! reachability table allocates several transient grids and queues. One
+//! sweep trial does all of these; a full experiment does millions. A
+//! [`Workspace`] owns those transients so a worker thread can pay for
+//! them once and reuse them across trials via the `*_with` entry points
+//! ([`crate::BlockMap::build_with`], [`crate::MccMap::build_with`],
+//! [`crate::reach::minimal_path_exists_with`], …).
+//!
+//! The plain entry points (`build`, `minimal_path_exists`, …) stay
+//! allocation-free too: they borrow a thread-local workspace through
+//! [`with_scratch`], so existing call sites benefit without changes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use emr_mesh::{Coord, Dist, Grid, Mesh};
+
+/// A direction-indexed safety-level tuple, structurally identical to
+/// `emr_distsim::protocols::EslTuple` (this crate cannot name that alias
+/// without a dependency cycle).
+pub type LevelTuple = [Dist; 4];
+
+/// Scratch buffers shared by the fault-model decompositions, the safety
+/// sweeps, and the reachability dynamic program.
+///
+/// Every buffer is reset (not trusted) by the code that uses it, so a
+/// workspace carries no state between calls — only capacity. The fields
+/// are public because the consumers span several crates (`emr-fault`
+/// itself, `emr-core`'s safety sweeps); callers other than the `*_with`
+/// implementations normally never touch them.
+#[derive(Debug)]
+pub struct Workspace {
+    /// BFS / worklist queue for fix-points and component extraction.
+    pub queue: VecDeque<Coord>,
+    /// Visited marks for component extraction.
+    pub visited: Grid<bool>,
+    /// General boolean node marks (faulty flags, obstacle maps).
+    pub mark_a: Grid<bool>,
+    /// Second mark plane (the MCC "useless" labeling).
+    pub mark_b: Grid<bool>,
+    /// Third mark plane (the MCC "can't-reach" labeling).
+    pub mark_c: Grid<bool>,
+    /// Reachability DP table over a normalized route rectangle.
+    pub table: Grid<bool>,
+    /// Safety-level tuples for the directional distance sweeps.
+    pub tuples: Grid<LevelTuple>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        let unit = Mesh::new(1, 1);
+        Workspace {
+            queue: VecDeque::new(),
+            visited: Grid::new(unit, false),
+            mark_a: Grid::new(unit, false),
+            mark_b: Grid::new(unit, false),
+            mark_c: Grid::new(unit, false),
+            table: Grid::new(unit, false),
+            tuples: Grid::new(unit, [0; 4]),
+        }
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace::new()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with this thread's shared scratch workspace.
+///
+/// Reentrant calls (e.g. a `blocked` predicate that itself consults the
+/// reachability oracle) fall back to a fresh workspace instead of
+/// panicking on the double borrow.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_reusable_and_reentrant() {
+        let first = with_scratch(|ws| {
+            ws.queue.push_back(Coord::ORIGIN);
+            ws.visited.reset(Mesh::square(4), true);
+            // A nested borrow must still work (fresh workspace).
+            with_scratch(|inner| inner.queue.len())
+        });
+        assert_eq!(first, 0);
+        // The outer workspace kept its (stale) state; users must reset.
+        with_scratch(|ws| {
+            assert_eq!(ws.queue.len(), 1);
+            ws.queue.clear();
+        });
+    }
+}

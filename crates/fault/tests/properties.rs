@@ -153,7 +153,10 @@ fn injector_configurations_uphold_invariants() {
         assert!(blocks.rect_invariant_holds(), "seed {seed}");
         for ty in MccType::ALL {
             let mcc = MccMap::build(&set, ty);
-            assert!(mcc.disabled_count() <= blocks.disabled_count(), "seed {seed}");
+            assert!(
+                mcc.disabled_count() <= blocks.disabled_count(),
+                "seed {seed}"
+            );
         }
     }
 }
@@ -180,8 +183,7 @@ fn coverage_in_all_quadrants_matches_oracle() {
             }
             let q = Quadrant::of(s, d);
             let by_coverage = coverage::minimal_path_exists_by_coverage(&blocks.rects(), s, d);
-            let by_oracle =
-                reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
+            let by_oracle = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
             assert_eq!(
                 by_coverage, by_oracle,
                 "seed {seed}, quadrant {q}, s={s}, d={d}"

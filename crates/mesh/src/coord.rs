@@ -76,9 +76,7 @@ impl Coord {
     /// The direction of the single-hop move from `self` to `other`, if the
     /// two are adjacent.
     pub fn direction_to(self, other: Coord) -> Option<Direction> {
-        Direction::ALL
-            .into_iter()
-            .find(|&d| self.step(d) == other)
+        Direction::ALL.into_iter().find(|&d| self.step(d) == other)
     }
 }
 

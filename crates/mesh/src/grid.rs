@@ -35,6 +35,22 @@ impl<T: Clone> Grid<T> {
             data: vec![fill; mesh.node_count()],
         }
     }
+
+    /// Sets every node to `value` without reallocating.
+    pub fn fill(&mut self, value: T) {
+        for v in &mut self.data {
+            *v = value.clone();
+        }
+    }
+
+    /// Retargets this grid to `mesh` with every node set to `fill`,
+    /// reusing the existing allocation when it is large enough. This is
+    /// the reset step of scratch-buffer reuse in hot loops.
+    pub fn reset(&mut self, mesh: Mesh, fill: T) {
+        self.mesh = mesh;
+        self.data.clear();
+        self.data.resize(mesh.node_count(), fill);
+    }
 }
 
 impl<T> Grid<T> {
@@ -51,7 +67,9 @@ impl<T> Grid<T> {
 
     /// The value at `c`, or `None` when `c` is outside the mesh.
     pub fn get(&self, c: Coord) -> Option<&T> {
-        self.mesh.contains(c).then(|| &self.data[self.mesh.index_of(c)])
+        self.mesh
+            .contains(c)
+            .then(|| &self.data[self.mesh.index_of(c)])
     }
 
     /// Mutable access to the value at `c`, or `None` outside the mesh.
@@ -138,6 +156,21 @@ mod tests {
     fn out_of_bounds_index_panics() {
         let g = Grid::new(Mesh::square(2), 0u8);
         let _ = g[Coord::new(5, 5)];
+    }
+
+    #[test]
+    fn fill_and_reset_reuse_storage() {
+        let mut g = Grid::new(Mesh::new(4, 4), 3u8);
+        g.fill(7);
+        assert!(g.iter().all(|(_, &v)| v == 7));
+        // Reset to a smaller mesh: old contents must not leak through.
+        g.reset(Mesh::new(2, 3), 0);
+        assert_eq!(g.mesh(), Mesh::new(2, 3));
+        assert_eq!(g.iter().count(), 6);
+        assert!(g.iter().all(|(_, &v)| v == 0));
+        // And growing again re-fills every node.
+        g.reset(Mesh::new(5, 5), 9);
+        assert!(g.iter().all(|(_, &v)| v == 9));
     }
 
     #[test]

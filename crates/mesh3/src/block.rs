@@ -109,17 +109,14 @@ impl Cuboid {
 
     /// Number of nodes covered.
     pub fn node_count(&self) -> usize {
-        Axis3::ALL
-            .iter()
-            .map(|&a| self.len(a) as usize)
-            .product()
+        Axis3::ALL.iter().map(|&a| self.len(a) as usize).product()
     }
 
     /// Whether the cuboid covers `c`.
     pub fn contains(&self, c: Coord3) -> bool {
-        Axis3::ALL.iter().all(|&a| {
-            (self.min.along(a)..=self.max.along(a)).contains(&c.along(a))
-        })
+        Axis3::ALL
+            .iter()
+            .all(|&a| (self.min.along(a)..=self.max.along(a)).contains(&c.along(a)))
     }
 
     /// Grows the box to cover `c`.

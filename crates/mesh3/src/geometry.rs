@@ -113,17 +113,35 @@ pub struct Dir3 {
 
 impl Dir3 {
     /// `+x`.
-    pub const EAST: Dir3 = Dir3 { axis: Axis3::X, sign: 1 };
+    pub const EAST: Dir3 = Dir3 {
+        axis: Axis3::X,
+        sign: 1,
+    };
     /// `-x`.
-    pub const WEST: Dir3 = Dir3 { axis: Axis3::X, sign: -1 };
+    pub const WEST: Dir3 = Dir3 {
+        axis: Axis3::X,
+        sign: -1,
+    };
     /// `+y`.
-    pub const NORTH: Dir3 = Dir3 { axis: Axis3::Y, sign: 1 };
+    pub const NORTH: Dir3 = Dir3 {
+        axis: Axis3::Y,
+        sign: 1,
+    };
     /// `-y`.
-    pub const SOUTH: Dir3 = Dir3 { axis: Axis3::Y, sign: -1 };
+    pub const SOUTH: Dir3 = Dir3 {
+        axis: Axis3::Y,
+        sign: -1,
+    };
     /// `+z`.
-    pub const UP: Dir3 = Dir3 { axis: Axis3::Z, sign: 1 };
+    pub const UP: Dir3 = Dir3 {
+        axis: Axis3::Z,
+        sign: 1,
+    };
     /// `-z`.
-    pub const DOWN: Dir3 = Dir3 { axis: Axis3::Z, sign: -1 };
+    pub const DOWN: Dir3 = Dir3 {
+        axis: Axis3::Z,
+        sign: -1,
+    };
 
     /// All six directions.
     pub const ALL: [Dir3; 6] = [
@@ -233,9 +251,8 @@ impl Mesh3 {
     /// Iterates all nodes in x-fastest order.
     pub fn nodes(&self) -> impl Iterator<Item = Coord3> + '_ {
         let (w, h, d) = (self.width, self.height, self.depth);
-        (0..d).flat_map(move |z| {
-            (0..h).flat_map(move |y| (0..w).map(move |x| Coord3::new(x, y, z)))
-        })
+        (0..d)
+            .flat_map(move |z| (0..h).flat_map(move |y| (0..w).map(move |x| Coord3::new(x, y, z))))
     }
 
     /// The center node.
@@ -250,8 +267,7 @@ impl Mesh3 {
     /// Panics if `c` is outside the mesh.
     pub fn index_of(&self, c: Coord3) -> usize {
         assert!(self.contains(c), "{c} outside {self:?}");
-        ((c.z as usize * self.height as usize) + c.y as usize) * self.width as usize
-            + c.x as usize
+        ((c.z as usize * self.height as usize) + c.y as usize) * self.width as usize + c.x as usize
     }
 }
 

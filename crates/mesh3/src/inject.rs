@@ -11,12 +11,7 @@ use crate::geometry::{Coord3, Mesh3};
 /// # Panics
 ///
 /// Panics if `count` exceeds the number of eligible nodes.
-pub fn uniform(
-    mesh: Mesh3,
-    count: usize,
-    forbidden: &[Coord3],
-    rng: &mut impl Rng,
-) -> FaultSet3 {
+pub fn uniform(mesh: Mesh3, count: usize, forbidden: &[Coord3], rng: &mut impl Rng) -> FaultSet3 {
     let eligible: Vec<Coord3> = mesh.nodes().filter(|c| !forbidden.contains(c)).collect();
     assert!(
         count <= eligible.len(),

@@ -62,7 +62,12 @@ pub fn minimal_path(
             .expect("reachable cell has a reachable predecessor");
         rev.push(cur);
     }
-    Some(rev.into_iter().rev().map(|r| from_rel(s, signs, r)).collect())
+    Some(
+        rev.into_iter()
+            .rev()
+            .map(|r| from_rel(s, signs, r))
+            .collect(),
+    )
 }
 
 fn to_rel(s: Coord3, _d: Coord3, signs: (i32, i32, i32), c: Coord3) -> Coord3 {
@@ -74,7 +79,11 @@ fn to_rel(s: Coord3, _d: Coord3, signs: (i32, i32, i32), c: Coord3) -> Coord3 {
 }
 
 fn from_rel(s: Coord3, signs: (i32, i32, i32), r: Coord3) -> Coord3 {
-    Coord3::new(s.x + r.x * signs.0, s.y + r.y * signs.1, s.z + r.z * signs.2)
+    Coord3::new(
+        s.x + r.x * signs.0,
+        s.y + r.y * signs.1,
+        s.z + r.z * signs.2,
+    )
 }
 
 fn path_table(

@@ -84,11 +84,7 @@ fn axis_leg(s: Coord3, waypoint: Coord3, axis: Axis3) -> Vec<Coord3> {
 }
 
 /// Phase 2: project the layer onto a 2-D scenario and run Wu's protocol.
-fn layer_route(
-    sc: &Scenario3,
-    plan: &LayeredPlan,
-    d: Coord3,
-) -> Result<Vec<Coord3>, Route3Error> {
+fn layer_route(sc: &Scenario3, plan: &LayeredPlan, d: Coord3) -> Result<Vec<Coord3>, Route3Error> {
     let axis = plan.axis;
     let level = d.along(axis);
     let [b, c] = axis.others();
@@ -166,7 +162,11 @@ mod tests {
         let mesh = Mesh3::cube(8);
         let sc = Scenario3::build(FaultSet3::from_coords(
             mesh,
-            [Coord3::new(3, 0, 0), Coord3::new(0, 3, 0), Coord3::new(0, 0, 3)],
+            [
+                Coord3::new(3, 0, 0),
+                Coord3::new(0, 3, 0),
+                Coord3::new(0, 0, 3),
+            ],
         ));
         assert_eq!(
             layered_route(&sc, Coord3::ORIGIN, Coord3::new(7, 7, 7)),

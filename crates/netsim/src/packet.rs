@@ -121,8 +121,14 @@ mod tests {
     fn degenerate_witnesses_collapse() {
         let s = Coord::new(0, 0);
         let d = Coord::new(4, 0);
-        assert_eq!(Packet::with_plan(s, d, &RoutePlan::ViaAxis(d)).leg_count(), 1);
-        assert_eq!(Packet::with_plan(s, d, &RoutePlan::ViaAxis(s)).leg_count(), 1);
+        assert_eq!(
+            Packet::with_plan(s, d, &RoutePlan::ViaAxis(d)).leg_count(),
+            1
+        );
+        assert_eq!(
+            Packet::with_plan(s, d, &RoutePlan::ViaAxis(s)).leg_count(),
+            1
+        );
         assert_eq!(Packet::with_plan(s, d, &RoutePlan::Direct).leg_count(), 1);
     }
 }

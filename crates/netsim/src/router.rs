@@ -209,7 +209,11 @@ mod tests {
                 assert_eq!(walk(&wu, s, d, 2 * minimal), Ok(minimal), "wu to {d}");
             }
             if reach::minimal_path_exists(&sc.mesh(), s, d, |c| view.is_obstacle(c, s, d)) {
-                assert_eq!(walk(&oracle, s, d, 2 * minimal), Ok(minimal), "oracle to {d}");
+                assert_eq!(
+                    walk(&oracle, s, d, 2 * minimal),
+                    Ok(minimal),
+                    "oracle to {d}"
+                );
             }
         }
     }

@@ -21,7 +21,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::CycleBudgetExceeded { in_flight } => {
-                write!(f, "cycle budget exceeded with {in_flight} packets in flight")
+                write!(
+                    f,
+                    "cycle budget exceeded with {in_flight} packets in flight"
+                )
             }
         }
     }
@@ -188,7 +191,12 @@ impl<R: Router> NetSim<R> {
         }
 
         // Occupancy peaks right after injection, before any packet moves.
-        let peak = self.resident.iter().map(|(_, q)| q.len()).max().unwrap_or(0);
+        let peak = self
+            .resident
+            .iter()
+            .map(|(_, q)| q.len())
+            .max()
+            .unwrap_or(0);
         self.report.peak_queue = self.report.peak_queue.max(peak);
 
         // Routing requests: (directed link) → oldest requesting packet.
@@ -199,10 +207,7 @@ impl<R: Router> NetSim<R> {
                 .packet
                 .current_target()
                 .expect("in-flight packets have a target");
-            match self
-                .router
-                .next_hop(flight.leg_source, target, flight.at)
-            {
+            match self.router.next_hop(flight.leg_source, target, flight.at) {
                 Ok(dir) => {
                     let link = (flight.at, flight.at.step(dir));
                     // BTreeMap iteration is id-ascending, so the first
@@ -376,10 +381,7 @@ mod tests {
         let s = Coord::new(0, 0);
         let d = Coord::new(6, 6);
         let w = Coord::new(4, 0);
-        sim.inject(
-            Packet::with_plan(s, d, &emr_core::RoutePlan::ViaAxis(w)),
-            0,
-        );
+        sim.inject(Packet::with_plan(s, d, &emr_core::RoutePlan::ViaAxis(w)), 0);
         let report = sim.run_to_completion(100).unwrap();
         assert_eq!(report.delivered, 1);
         // Axis waypoint is on a minimal path: stretch stays 1.

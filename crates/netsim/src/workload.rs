@@ -6,8 +6,8 @@ use emr_core::{conditions, Model, Scenario};
 use emr_mesh::Coord;
 
 use crate::packet::Packet;
-use crate::sim::NetSim;
 use crate::router::Router;
+use crate::sim::NetSim;
 
 /// A batch of scheduled traffic: `(injection cycle, packet)` pairs.
 ///
@@ -156,8 +156,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let faults = inject::uniform(mesh, 20, &[], &mut rng);
         let scenario = Scenario::build(faults);
-        let load =
-            Workload::uniform_ensured(&scenario, Model::FaultBlock, 60, 3, &mut rng);
+        let load = Workload::uniform_ensured(&scenario, Model::FaultBlock, 60, 3, &mut rng);
         assert_eq!(load.len(), 60);
 
         let view = scenario.view(Model::FaultBlock);

@@ -1,0 +1,426 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the small slice of the `rand 0.8` API it actually uses: [`RngCore`],
+//! [`Rng`] (`gen_range`/`gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], [`rngs::mock::StepRng`], [`seq::SliceRandom`] and
+//! [`thread_rng`]. Everything is deterministic: `StdRng` is an
+//! xoshiro256++ generator seeded through SplitMix64 (the same seeding
+//! scheme `rand` documents for `seed_from_u64`). Streams differ from the
+//! upstream crate's ChaCha-based `StdRng`, which only matters for pinned
+//! golden values — all of the repository's goldens were produced with this
+//! implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`]
+/// (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // 53 uniform mantissa bits, the standard [0, 1) construction.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence (also the mixer `seed_from_u64`
+/// uses to spread a 64-bit seed over a full generator state).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                let mut sm = 0xDEAD_BEEF_u64;
+                for word in &mut s {
+                    *word = splitmix64(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic test generators.
+
+        use super::super::RngCore;
+
+        /// A generator returning `initial`, `initial + increment`, … —
+        /// only for tests that need a predictable sequence.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the generator.
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+        }
+    }
+
+    /// See [`super::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A convenience generator for examples and doc tests. Unlike upstream
+/// `rand`, this one is *deterministic per process* (seeded from a process
+/// counter) — good enough for the workspace's usage, which never relies on
+/// cross-process entropy.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5EED_2EAD);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    rngs::ThreadRng(rngs::StdRng::seed_from_u64(n))
+}
+
+pub mod distributions {
+    //! Sampling support types.
+
+    pub mod uniform {
+        //! Uniform range sampling.
+
+        use super::super::RngCore;
+
+        /// Ranges that can produce a uniform sample.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = rng.next_u64() as u128 % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = rng.next_u64() as u128 % span;
+                        (lo as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+        impl SampleRange<f64> for core::ops::Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling.
+
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// `amount` distinct elements, uniformly without replacement, in
+        /// selection order.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount` exceeds the slice length.
+        fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&Self::Item>
+        where
+            R: RngCore + ?Sized;
+
+        /// One uniformly chosen element, or `None` when empty.
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: RngCore + ?Sized;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T>
+        where
+            R: RngCore + ?Sized,
+        {
+            assert!(
+                amount <= self.len(),
+                "cannot choose {amount} from {}",
+                self.len()
+            );
+            // Partial Fisher–Yates over an index table.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            let mut picked = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = i + (rng.next_u64() as usize) % (idx.len() - i);
+                idx.swap(i, j);
+                picked.push(&self[idx[i]]);
+            }
+            picked.into_iter()
+        }
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: RngCore + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() as usize) % self.len()])
+            }
+        }
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..7);
+            assert!((-5..7).contains(&v));
+            let w = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..50).collect();
+        let mut got: Vec<u32> = items.choose_multiple(&mut rng, 20).copied().collect();
+        assert_eq!(got.len(), 20);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 20, "choose_multiple repeated an element");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u64(), 2);
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_gen_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let v = dynr.gen_range(0i32..10);
+        assert!((0..10).contains(&v));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serialization framework with the same *surface* the code uses —
+//! `#[derive(Serialize, Deserialize)]`, `serde::Serialize`,
+//! `serde::de::DeserializeOwned` — but a much simpler data model: values
+//! serialize into an owned [`Value`] tree, and deserialize back out of
+//! one. `serde_json` (also vendored) renders that tree as JSON. Enum
+//! representation follows serde's externally-tagged default (`"Variant"`
+//! for unit variants, `{"Variant": payload}` otherwise), so the JSON
+//! artifacts look like upstream serde's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The intermediate tree every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization traits (upstream-path compatibility).
+
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialization — with this stand-in's lifetime-free model,
+    /// simply an alias bound for [`Deserialize`].
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization traits (upstream-path compatibility).
+
+    pub use crate::{Error, Serialize};
+}
+
+/// Looks up a required field in a map's entries (used by derived code).
+///
+/// # Errors
+///
+/// Returns an error naming the missing field.
+pub fn get_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected {N}-element sequence")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::custom("expected tuple"))?;
+                let mut it = seq.iter();
+                let out = ($(
+                    {
+                        let _ = $idx;
+                        $name::deserialize(
+                            it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                        )?
+                    },
+                )+);
+                if it.next().is_some() {
+                    return Err(Error::custom("tuple too long"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i32::deserialize(&(-7i32).serialize()), Ok(-7));
+        assert_eq!(u32::deserialize(&u32::MAX.serialize()), Ok(u32::MAX));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn range_errors_are_caught() {
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+        assert!(i64::deserialize(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1i32, -2, 3];
+        assert_eq!(Vec::<i32>::deserialize(&v.serialize()), Ok(v));
+        let arr = [5u32, 6, 7, 8];
+        assert_eq!(<[u32; 4]>::deserialize(&arr.serialize()), Ok(arr));
+        let opt: Option<i32> = None;
+        assert_eq!(Option::<i32>::deserialize(&opt.serialize()), Ok(None));
+        let tup = (1i32, "a".to_string());
+        assert_eq!(<(i32, String)>::deserialize(&tup.serialize()), Ok(tup));
+    }
+
+    #[test]
+    fn get_field_reports_missing() {
+        let m = vec![("a".to_string(), Value::Int(1))];
+        assert!(get_field(&m, "a").is_ok());
+        assert!(get_field(&m, "b").is_err());
+    }
+}

@@ -42,8 +42,7 @@ fn main() {
             naive += u32::from(conditions::all_axes_clear(&sc, s, d));
             let plan = conditions::layered_safe(&sc, s, d);
             layered += u32::from(plan.is_some());
-            let exists =
-                reach::minimal_path_exists(&mesh, s, d, |c| sc.blocks().is_blocked(c));
+            let exists = reach::minimal_path_exists(&mesh, s, d, |c| sc.blocks().is_blocked(c));
             optimal += u32::from(exists);
             // The layered guarantee is sound: verify on the spot.
             if plan.is_some() {

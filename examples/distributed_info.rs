@@ -34,10 +34,12 @@ fn main() {
         "affected rows: {rows}/{} ({:.1}% — Theorem 2 predicts {:.1}%), affected columns: {cols}",
         mesh.height(),
         100.0 * rows as f64 / mesh.height() as f64,
-        100.0 * affected::expected_affected_rows(
-            mesh.height() as u32,
-            scenario.faults().len() as u32
-        ) / mesh.height() as f64,
+        100.0
+            * affected::expected_affected_rows(
+                mesh.height() as u32,
+                scenario.faults().len() as u32
+            )
+            / mesh.height() as f64,
     );
 
     let engine = Engine::new(mesh);
@@ -58,8 +60,10 @@ fn main() {
 
     // 2. Boundary-line propagation (the L1..L4 rays with joining).
     let rects = blocks.rects();
-    let (marks, stats) =
-        engine.run(&boundary::BoundaryPropagation::new(rects.clone(), blocked.clone()));
+    let (marks, stats) = engine.run(&boundary::BoundaryPropagation::new(
+        rects.clone(),
+        blocked.clone(),
+    ));
     let marked_nodes = mesh.nodes().filter(|&c| !marks[c].is_empty()).count();
     println!(
         "boundary propagation:     {:>7} messages, {:>3} rounds, {marked_nodes} nodes on lines",
@@ -94,8 +98,12 @@ fn main() {
         .filter(|&c| !blocked[c])
         .map(|c| knowledge[c].len() as f64)
         .sum::<f64>()
-        / (mesh.node_count() - blocks.blocks().iter().map(|b| b.rect().node_count()).sum::<usize>())
-            as f64;
+        / (mesh.node_count()
+            - blocks
+                .blocks()
+                .iter()
+                .map(|b| b.rect().node_count())
+                .sum::<usize>()) as f64;
     println!(
         "pivot broadcast (ext 3):  {:>7} messages, {:>3} rounds, {} pivots, avg {:.2} known/node",
         stats.messages,

@@ -49,8 +49,7 @@ fn main() {
         }
         // Rebuild the full scenario for the condition sweep (safety maps
         // are global sweeps; the incremental structure carries the blocks).
-        let scenario =
-            Scenario::build(FaultSet::from_coords(mesh, fault_log.iter().copied()));
+        let scenario = Scenario::build(FaultSet::from_coords(mesh, fault_log.iter().copied()));
         let view = scenario.view(Model::FaultBlock);
         let (mut safe, mut s4, mut n) = (0u32, 0u32, 0u32);
         for d in mesh.nodes() {
@@ -59,9 +58,8 @@ fn main() {
             }
             n += 1;
             safe += u32::from(conditions::safe_source(&view, s, d).is_some());
-            s4 += u32::from(
-                matches!(conditions::strategy4(&view, s, d), Some(e) if e.is_minimal()),
-            );
+            s4 +=
+                u32::from(matches!(conditions::strategy4(&view, s, d), Some(e) if e.is_minimal()));
         }
         let biggest = blocks
             .blocks()

@@ -20,11 +20,10 @@ fn main() {
         trials,
         fault_counts: (0..=60).step_by(10).collect(),
         seed: 0xBEEF,
+        threads: None,
     };
 
-    println!(
-        "guaranteed-minimal-delivery report — {size}x{size} mesh, {trials} trials/point\n"
-    );
+    println!("guaranteed-minimal-delivery report — {size}x{size} mesh, {trials} trials/point\n");
     let table = sweep::run(
         &cfg,
         &[

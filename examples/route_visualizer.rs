@@ -44,13 +44,7 @@ fn main() {
     println!("        . boundary line, (blank) healthy");
 }
 
-fn render(
-    scenario: &Scenario,
-    boundary: &BoundaryMap,
-    path: &Path,
-    s: Coord,
-    d: Coord,
-) -> String {
+fn render(scenario: &Scenario, boundary: &BoundaryMap, path: &Path, s: Coord, d: Coord) -> String {
     let mesh = scenario.mesh();
     let mut out = String::new();
     for y in (0..mesh.height()).rev() {

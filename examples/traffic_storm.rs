@@ -34,9 +34,19 @@ fn main() {
 
     // Raw uniform traffic (no plan filtering): shows failure behavior.
     let raw = Workload::uniform_raw(&scenario, packets, 4, &mut rng);
-    run("XY (fault-oblivious)", &raw, &mesh, DimensionOrderRouter::new(&view));
+    run(
+        "XY (fault-oblivious)",
+        &raw,
+        &mesh,
+        DimensionOrderRouter::new(&view),
+    );
     run("Wu protocol", &raw, &mesh, WuRouter::new(&view, &boundary));
-    run("oracle (global info)", &raw, &mesh, OracleRouter::new(&view));
+    run(
+        "oracle (global info)",
+        &raw,
+        &mesh,
+        OracleRouter::new(&view),
+    );
 
     // Strategy-4 filtered traffic: everything Wu routes is guaranteed.
     let ensured = Workload::uniform_ensured(&scenario, Model::FaultBlock, packets, 4, &mut rng);

@@ -57,7 +57,12 @@ fn distributed_boundary_matches_boundary_map() {
             let mut a = dist[c].clone();
             let mut b = global.marks_at(c).to_vec();
             let key = |m: &boundary::BoundaryMark| {
-                (m.block.x_min(), m.block.y_min(), m.line as u8, m.toward_block)
+                (
+                    m.block.x_min(),
+                    m.block.y_min(),
+                    m.line as u8,
+                    m.toward_block,
+                )
             };
             a.sort_by_key(key);
             b.sort_by_key(key);
@@ -133,8 +138,7 @@ fn guarantee_hierarchy_statistics() {
         }
         trials += 1;
         counts[0] += u32::from(conditions::safe_source(&view, s, d).is_some());
-        counts[1] +=
-            u32::from(matches!(conditions::ext1(&view, s, d), Some(e) if e.is_minimal()));
+        counts[1] += u32::from(matches!(conditions::ext1(&view, s, d), Some(e) if e.is_minimal()));
         counts[2] +=
             u32::from(matches!(conditions::strategy4(&view, s, d), Some(e) if e.is_minimal()));
         counts[3] += u32::from(emr2d::fault::reach::minimal_path_exists(&mesh, s, d, |c| {

@@ -39,7 +39,9 @@ fn core_types_roundtrip() {
     roundtrip(&SafetyLevel::new(1, 2, 3, emr2d::mesh::UNBOUNDED));
     roundtrip(&Model::Mcc);
     roundtrip(&RoutePlan::ViaPivot(Coord::new(4, 5)));
-    roundtrip(&Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(1, 0))));
+    roundtrip(&Ensured::SubMinimal(RoutePlan::ViaNeighbor(Coord::new(
+        1, 0,
+    ))));
     roundtrip(&SegmentSize::Size(5));
     let mesh = Mesh::square(6);
     let sc = Scenario::build(FaultSet::from_coords(mesh, [Coord::new(3, 3)]));
