@@ -1,0 +1,773 @@
+//! The declarative cross-layer oracle table.
+//!
+//! Each [`Oracle`] states one inter-layer claim the paper's structure
+//! guarantees, names the layer that is ground truth for it, and checks it
+//! on a concrete [`ScenarioSpec`]. The harness runs every oracle on every
+//! generated scenario; a non-empty violation list is a conformance bug in
+//! some layer (or, during `--sabotage` runs, in the deliberately corrupted
+//! comparison used to demonstrate the shrinker).
+//!
+//! Direction of trust, from the bottom up:
+//!
+//! * an independent BFS (local to this crate) cross-checks the exact DP,
+//! * the exact DP (`emr_fault::reach`) is ground truth for reachability,
+//! * coverage (`emr_fault::coverage`) must be *equivalent* to the DP,
+//! * the sufficient conditions (`emr-core`) must *imply* the DP,
+//! * routing must realize what the conditions promise,
+//! * the distributed protocols must converge to the centralized maps,
+//! * the packet simulator must deliver at exactly the predicted length,
+//! * mirroring and fault-monotonicity are metamorphic invariants of all of
+//!   the above.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+
+use emr_core::conditions::{StrategyKind, StrategyParams};
+use emr_core::{conditions, route, Ensured, Model, ModelView, RouteError, Scenario};
+use emr_distsim::protocols::esl::{self, EslFormation};
+use emr_distsim::protocols::labeling::{BlockLabeling, BlockStatus, MccLabeling};
+use emr_distsim::Engine;
+use emr_fault::{coverage, reach, MccType, NodeState};
+use emr_mesh::{Coord, Grid, Mesh};
+use emr_netsim::{NetSim, Packet, WuRouter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{derive_seed, Injection, ScenarioSpec};
+
+/// One conformance violation: which oracle failed and a human-readable
+/// description pinpointing the disagreeing inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The failing oracle's name (an entry of [`ORACLES`]).
+    pub oracle: String,
+    /// What disagreed, with the concrete inputs.
+    pub detail: String,
+}
+
+/// Options threaded through every oracle check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckCtx {
+    /// Corrupt the `sufficient-implies-dp` oracle's DP with a phantom
+    /// obstacle at the mesh center. Used to demonstrate that a genuinely
+    /// wrong layer produces a shrunk counterexample (never set in CI).
+    pub sabotage: bool,
+}
+
+/// One cross-layer claim: a name, the layer trusted as ground truth, and
+/// the checking function.
+pub struct Oracle {
+    /// Stable kebab-case identifier (appears in reports and repro files).
+    pub name: &'static str,
+    /// The claim, stated as "X must agree with ground-truth Y".
+    pub claim: &'static str,
+    check: fn(&ScenarioSpec, &CheckCtx) -> Vec<Violation>,
+}
+
+/// The full oracle table, checked in order on every scenario.
+pub const ORACLES: &[Oracle] = &[
+    Oracle {
+        name: "dp-vs-bfs",
+        claim: "emr_fault::reach agrees with an independent BFS, and its \
+                witness paths are valid (ground truth: the BFS)",
+        check: o_dp_vs_bfs,
+    },
+    Oracle {
+        name: "sufficient-implies-dp",
+        claim: "every fired sufficient condition implies the exact DP \
+                verdict it promises (ground truth: emr_fault::reach)",
+        check: o_sufficient_implies_dp,
+    },
+    Oracle {
+        name: "coverage-iff-dp",
+        claim: "Wang's coverage condition is equivalent to the DP for \
+                endpoints outside every block (ground truth: emr_fault::reach)",
+        check: o_coverage_iff_dp,
+    },
+    Oracle {
+        name: "route-delivers",
+        claim: "executing a condition's plan yields a fault-avoiding path \
+                of the promised length (ground truth: the condition)",
+        check: o_route_delivers,
+    },
+    Oracle {
+        name: "distsim-matches",
+        claim: "converged distributed labelings and safety levels equal the \
+                centralized maps (ground truth: emr_fault / esl::compute_global)",
+        check: o_distsim_matches,
+    },
+    Oracle {
+        name: "netsim-hops",
+        claim: "packets with minimal-ensured plans are all delivered in \
+                exactly manhattan(s, d) hops (ground truth: the plan)",
+        check: o_netsim_hops,
+    },
+    Oracle {
+        name: "mirror-invariance",
+        claim: "the four quadrant mirrorings preserve every per-pair \
+                verdict (metamorphic)",
+        check: o_mirror_invariance,
+    },
+    Oracle {
+        name: "fault-monotone",
+        claim: "adding a fault never turns an unreachable pair reachable \
+                (metamorphic)",
+        check: o_fault_monotone,
+    },
+    Oracle {
+        name: "mesh3-layered-safe",
+        claim: "the 3-D layered sufficient condition implies the 3-D exact \
+                DP (ground truth: emr_mesh3::reach)",
+        check: o_mesh3_layered_safe,
+    },
+];
+
+/// Looks up one oracle by name.
+pub fn oracle_by_name(name: &str) -> Option<&'static Oracle> {
+    ORACLES.iter().find(|o| o.name == name)
+}
+
+/// Runs a single oracle, converting panics into violations (a panic in any
+/// layer is itself a conformance failure and must shrink like one).
+pub fn check_oracle(oracle: &Oracle, spec: &ScenarioSpec, ctx: &CheckCtx) -> Vec<Violation> {
+    match catch_unwind(AssertUnwindSafe(|| (oracle.check)(spec, ctx))) {
+        Ok(violations) => violations,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            vec![Violation {
+                oracle: oracle.name.to_string(),
+                detail: format!("panic: {msg}"),
+            }]
+        }
+    }
+}
+
+/// Runs the whole table on one scenario.
+pub fn check_spec(spec: &ScenarioSpec, ctx: &CheckCtx) -> Vec<Violation> {
+    ORACLES
+        .iter()
+        .flat_map(|o| check_oracle(o, spec, ctx))
+        .collect()
+}
+
+fn violation(oracle: &str, detail: String) -> Violation {
+    Violation {
+        oracle: oracle.to_string(),
+        detail,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+/// Shortest obstacle-avoiding path length by plain BFS; `None` when
+/// unreachable or an endpoint is blocked/off-mesh. Independent of the DP in
+/// `emr_fault::reach` on purpose.
+fn bfs_shortest(mesh: Mesh, s: Coord, d: Coord, blocked: &dyn Fn(Coord) -> bool) -> Option<u32> {
+    if !mesh.contains(s) || !mesh.contains(d) || blocked(s) || blocked(d) {
+        return None;
+    }
+    let mut dist: Grid<Option<u32>> = Grid::new(mesh, None);
+    let mut queue = std::collections::VecDeque::new();
+    dist[s] = Some(0);
+    queue.push_back(s);
+    while let Some(c) = queue.pop_front() {
+        let dc = dist[c].expect("queued nodes have distances");
+        if c == d {
+            return Some(dc);
+        }
+        for n in mesh.neighbors(c) {
+            if !blocked(n) && dist[n].is_none() {
+                dist[n] = Some(dc + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+fn kind_name(kind: StrategyKind) -> &'static str {
+    match kind {
+        StrategyKind::S1 => "strategy1",
+        StrategyKind::S2 => "strategy2",
+        StrategyKind::S3 => "strategy3",
+        StrategyKind::S4 => "strategy4",
+    }
+}
+
+fn model_name(model: Model) -> &'static str {
+    match model {
+        Model::FaultBlock => "block",
+        Model::Mcc => "mcc",
+    }
+}
+
+/// Every condition that fires for the pair, with its guarantee.
+fn fired_conditions(view: &ModelView<'_>, s: Coord, d: Coord) -> Vec<(&'static str, Ensured)> {
+    let mut fired = Vec::new();
+    if let Some(plan) = conditions::safe_source(view, s, d) {
+        fired.push(("safe", Ensured::Minimal(plan)));
+    }
+    if let Some(e) = conditions::ext1(view, s, d) {
+        fired.push(("ext1", e));
+    }
+    let params = StrategyParams::defaults_for(view, s, d);
+    for kind in StrategyKind::ALL {
+        if let Some(e) = conditions::strategy_with(view, s, d, kind, &params) {
+            fired.push((kind_name(kind), e));
+        }
+    }
+    fired
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+
+fn o_dp_vs_bfs(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let blocks = sc.blocks();
+    let blocked = |c: Coord| blocks.is_blocked(c);
+    for &(s, d) in &spec.pairs {
+        let bfs = bfs_shortest(mesh, s, d, &blocked);
+        let bfs_minimal = bfs == Some(s.manhattan(d));
+        let dp = reach::minimal_path_exists(&mesh, s, d, blocked);
+        if dp != bfs_minimal {
+            out.push(violation(
+                "dp-vs-bfs",
+                format!("{s}->{d}: DP says {dp}, BFS shortest is {bfs:?}"),
+            ));
+            continue;
+        }
+        let witness = reach::minimal_path(&mesh, s, d, blocked);
+        match witness {
+            Some(path) => {
+                if !dp {
+                    out.push(violation(
+                        "dp-vs-bfs",
+                        format!("{s}->{d}: witness path but DP says unreachable"),
+                    ));
+                }
+                if !path.is_minimal()
+                    || !path.avoids(blocked)
+                    || path.source() != Some(s)
+                    || path.dest() != Some(d)
+                {
+                    out.push(violation(
+                        "dp-vs-bfs",
+                        format!("{s}->{d}: invalid witness path {:?}", path.nodes()),
+                    ));
+                }
+            }
+            None => {
+                if dp {
+                    out.push(violation(
+                        "dp-vs-bfs",
+                        format!("{s}->{d}: DP reachable but no witness path"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn o_sufficient_implies_dp(spec: &ScenarioSpec, ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let faults = sc.faults();
+    // The sabotage hook: a phantom obstacle the conditions cannot see,
+    // guaranteeing divergence that must shrink to a tiny counterexample.
+    let phantom = Coord::new((spec.width - 1) / 2, (spec.height - 1) / 2);
+    for model in Model::ALL {
+        let view = sc.view(model);
+        for &(s, d) in &spec.pairs {
+            let fired = fired_conditions(&view, s, d);
+            if fired.is_empty() {
+                continue;
+            }
+            // Ground truth per model. Under blocks there is one obstacle
+            // set, so the promised path avoids it. Under MCC, conditions
+            // and Wu's per-hop checks each consult the labeling type of
+            // their own leg — different legs can use different types — so
+            // the end-to-end guarantee the paper makes is a minimal path
+            // among *fault-free* nodes (every labeling's obstacle set
+            // contains the faults).
+            let blocked = |c: Coord| {
+                let base = match model {
+                    Model::FaultBlock => view.is_obstacle(c, s, d),
+                    Model::Mcc => faults.is_faulty(c),
+                };
+                base || (ctx.sabotage && c == phantom)
+            };
+            let dp = reach::minimal_path_exists(&mesh, s, d, blocked);
+            let sub = if dp {
+                true
+            } else {
+                // Sub-minimal promises allow one detour (minimal + 2).
+                matches!(bfs_shortest(mesh, s, d, &blocked),
+                         Some(len) if len <= s.manhattan(d) + 2)
+            };
+            for (name, ensured) in fired {
+                if ensured.is_minimal() && !dp {
+                    out.push(violation(
+                        "sufficient-implies-dp",
+                        format!(
+                            "[{}] {name} fired for {s}->{d} but no minimal path exists",
+                            model_name(model)
+                        ),
+                    ));
+                } else if !ensured.is_minimal() && !sub {
+                    out.push(violation(
+                        "sufficient-implies-dp",
+                        format!(
+                            "[{}] {name} promised sub-minimal for {s}->{d} but no path \
+                             within manhattan+2 exists",
+                            model_name(model)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn o_coverage_iff_dp(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let blocks = sc.blocks();
+    let rects = blocks.rects();
+    for &(s, d) in &spec.pairs {
+        // The paper's standing assumption: endpoints outside every block.
+        if rects.iter().any(|r| r.contains(s) || r.contains(d)) {
+            continue;
+        }
+        let cov = coverage::minimal_path_exists_by_coverage(&rects, s, d);
+        let dp = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
+        if cov != dp {
+            out.push(violation(
+                "coverage-iff-dp",
+                format!("{s}->{d}: coverage says {cov}, DP says {dp} (rects {rects:?})"),
+            ));
+        }
+    }
+    out
+}
+
+fn o_route_delivers(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let faults = sc.faults();
+    for model in Model::ALL {
+        let view = sc.view(model);
+        for &(s, d) in &spec.pairs {
+            let fired = fired_conditions(&view, s, d);
+            if fired.is_empty() {
+                continue;
+            }
+            let boundary = sc.boundary_map_for(model, s, d);
+            for (name, ensured) in fired {
+                let plan = ensured.plan();
+                match route::execute(&view, &boundary, s, d, &plan) {
+                    Ok(path) => {
+                        let max_hops = if ensured.is_minimal() {
+                            s.manhattan(d)
+                        } else {
+                            s.manhattan(d) + 2
+                        };
+                        // Per-hop obstacle checks use each leg's own MCC
+                        // labeling type, so a finished MCC route is only
+                        // promised to avoid *faults* (every labeling
+                        // contains them); block routes avoid the one
+                        // block obstacle set.
+                        let avoids = match model {
+                            Model::FaultBlock => path.avoids(|c| view.is_obstacle(c, s, d)),
+                            Model::Mcc => path.avoids(|c| faults.is_faulty(c)),
+                        };
+                        let ok = path.source() == Some(s)
+                            && path.dest() == Some(d)
+                            && path.is_contiguous()
+                            && avoids
+                            && path.hops() <= max_hops;
+                        if !ok {
+                            out.push(violation(
+                                "route-delivers",
+                                format!(
+                                    "[{}] {name} plan {plan:?} for {s}->{d} produced an \
+                                     invalid path {:?} (promised ≤ {max_hops} hops)",
+                                    model_name(model),
+                                    path.nodes()
+                                ),
+                            ));
+                        }
+                    }
+                    // Documented incompleteness: MCC boundary maps carry
+                    // bounding rectangles, so Wu's router may report
+                    // Stuck/Conflict for an ensured pair under that model.
+                    Err(RouteError::Stuck(_) | RouteError::Conflict(_)) if model == Model::Mcc => {}
+                    Err(e) => {
+                        out.push(violation(
+                            "route-delivers",
+                            format!(
+                                "[{}] {name} fired for {s}->{d} but executing {plan:?} \
+                                 failed: {e}",
+                                model_name(model)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn o_distsim_matches(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let faulty = Grid::from_fn(mesh, |c| sc.faults().is_faulty(c));
+
+    // Definition 1 labeling vs the centralized BlockMap.
+    let (labels, _) = Engine::new(mesh).run(&BlockLabeling::new(faulty.clone()));
+    for c in mesh.nodes() {
+        let expected = match sc.blocks().state(c) {
+            NodeState::Enabled => BlockStatus::Enabled,
+            NodeState::Faulty => BlockStatus::Faulty,
+            NodeState::Disabled => BlockStatus::Disabled,
+        };
+        if labels[c].status != expected {
+            out.push(violation(
+                "distsim-matches",
+                format!(
+                    "block labeling at {c}: distributed {:?}, centralized {expected:?}",
+                    labels[c].status
+                ),
+            ));
+        }
+    }
+
+    // Definition 2 labelings vs the centralized MccMaps.
+    for (ty, proto) in [
+        (MccType::One, MccLabeling::type_one(faulty.clone())),
+        (MccType::Two, MccLabeling::type_two(faulty.clone())),
+    ] {
+        let reference = sc.mcc(ty);
+        let (labels, _) = Engine::new(mesh).run(&proto);
+        for c in mesh.nodes() {
+            if labels[c].is_blocked() != reference.is_blocked(c) {
+                out.push(violation(
+                    "distsim-matches",
+                    format!(
+                        "MCC {ty:?} labeling at {c}: distributed {}, centralized {}",
+                        labels[c].is_blocked(),
+                        reference.is_blocked(c)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Safety-level formation vs the centralized sweep.
+    let blocked = Grid::from_fn(mesh, |c| sc.blocks().is_blocked(c));
+    let (esl_grid, _) = Engine::new(mesh).run(&EslFormation::new(blocked.clone()));
+    let global = esl::compute_global(&blocked);
+    for c in mesh.nodes() {
+        if blocked[c] {
+            continue; // Block nodes carry no safety level.
+        }
+        if esl_grid[c] != global[c] {
+            out.push(violation(
+                "distsim-matches",
+                format!(
+                    "ESL at {c}: distributed {:?}, centralized {:?}",
+                    esl_grid[c], global[c]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn o_netsim_hops(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let sc = spec.scenario();
+    let view = sc.view(Model::FaultBlock);
+    let mut planned = Vec::new();
+    for &(s, d) in &spec.pairs {
+        if let Some(ensured) = conditions::strategy4(&view, s, d) {
+            if ensured.is_minimal() {
+                planned.push((s, d, ensured.plan()));
+            }
+        }
+    }
+    if planned.is_empty() {
+        return Vec::new();
+    }
+    let boundary = sc.boundary_map(Model::FaultBlock);
+    let mut sim = NetSim::new(spec.mesh(), WuRouter::new(&view, &boundary));
+    let mut expected_hops = 0u64;
+    for (i, &(s, d, ref plan)) in planned.iter().enumerate() {
+        sim.inject(Packet::with_plan(s, d, plan), i as u64);
+        expected_hops += u64::from(s.manhattan(d));
+    }
+    let report = match sim.run_to_completion(100_000) {
+        Ok(r) => r,
+        Err(e) => {
+            return vec![violation(
+                "netsim-hops",
+                format!("simulation did not complete: {e:?}"),
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    if report.delivered != planned.len() as u64 || report.failed != 0 {
+        out.push(violation(
+            "netsim-hops",
+            format!(
+                "{} ensured packets: {} delivered, {} failed",
+                planned.len(),
+                report.delivered,
+                report.failed
+            ),
+        ));
+    } else if report.total_hops != expected_hops || report.total_manhattan != expected_hops {
+        out.push(violation(
+            "netsim-hops",
+            format!(
+                "expected {expected_hops} total hops, simulator reports hops={} \
+                 manhattan={}",
+                report.total_hops, report.total_manhattan
+            ),
+        ));
+    }
+    out
+}
+
+/// One mirroring of the mesh: flip X, flip Y, or both (with the identity
+/// these generate the four quadrant symmetries).
+fn mirror_coord(spec: &ScenarioSpec, c: Coord, fx: bool, fy: bool) -> Coord {
+    Coord::new(
+        if fx { spec.width - 1 - c.x } else { c.x },
+        if fy { spec.height - 1 - c.y } else { c.y },
+    )
+}
+
+/// The spec with faults and pairs reflected through the mesh's vertical
+/// (`fx`) and/or horizontal (`fy`) center line. Injection becomes
+/// [`Injection::Explicit`] because the mirrored fault set is no longer the
+/// seed's expansion. Public so pinned regression tests and repro replays
+/// can reproduce the metamorphic transform exactly.
+pub fn mirrored_spec(spec: &ScenarioSpec, fx: bool, fy: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        seed: spec.seed,
+        width: spec.width,
+        height: spec.height,
+        injection: Injection::Explicit,
+        faults: spec
+            .faults
+            .iter()
+            .map(|&c| mirror_coord(spec, c, fx, fy))
+            .collect(),
+        pairs: spec
+            .pairs
+            .iter()
+            .map(|&(s, d)| (mirror_coord(spec, s, fx, fy), mirror_coord(spec, d, fx, fy)))
+            .collect(),
+    }
+}
+
+/// The per-pair verdict vector that mirroring must preserve: DP, coverage
+/// applicability and verdict, and the geometric conditions.
+///
+/// Block-model verdicts are mirror-invariant for every pair. MCC verdicts
+/// are only compared when `|dx| ≥ 2` and `|dy| ≥ 2`: an axis-aligned route
+/// sits on the boundary between two quadrants, and the convention that
+/// folds it onto one labeling type (`Quadrant::of`) is inherently chiral —
+/// the fold picks the *same* type in both orientations while the faithful
+/// mirror of a type-one check is a type-two check. `ext1` inspects
+/// neighbor legs, which become axis-aligned as soon as an offset reaches
+/// 1, hence the margin of 2. (Both folded answers are individually sound;
+/// only the symmetry is lost. Found by this harness — see DESIGN.md.)
+fn pair_verdicts(sc: &Scenario, s: Coord, d: Coord) -> Vec<bool> {
+    let mesh = sc.mesh();
+    let blocks = sc.blocks();
+    let mut v = Vec::with_capacity(9);
+    v.push(reach::minimal_path_exists(&mesh, s, d, |c| {
+        blocks.is_blocked(c)
+    }));
+    let rects = blocks.rects();
+    let outside = !rects.iter().any(|r| r.contains(s) || r.contains(d));
+    v.push(outside);
+    v.push(outside && coverage::minimal_path_exists_by_coverage(&rects, s, d));
+    {
+        let view = sc.view(Model::FaultBlock);
+        v.push(conditions::safe_source(&view, s, d).is_some());
+        let e1 = conditions::ext1(&view, s, d);
+        v.push(e1.is_some());
+        v.push(matches!(e1, Some(e) if e.is_minimal()));
+    }
+    if (d.x - s.x).abs() >= 2 && (d.y - s.y).abs() >= 2 {
+        let view = sc.view(Model::Mcc);
+        v.push(conditions::safe_source(&view, s, d).is_some());
+        let e1 = conditions::ext1(&view, s, d);
+        v.push(e1.is_some());
+        v.push(matches!(e1, Some(e) if e.is_minimal()));
+    }
+    v
+}
+
+fn o_mirror_invariance(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    for (fx, fy) in [(true, false), (false, true), (true, true)] {
+        let mirrored = mirrored_spec(spec, fx, fy);
+        let msc = mirrored.scenario();
+        for (i, (&(s, d), &(ms, md))) in spec.pairs.iter().zip(mirrored.pairs.iter()).enumerate() {
+            let original = pair_verdicts(&sc, s, d);
+            let reflected = pair_verdicts(&msc, ms, md);
+            if original != reflected {
+                out.push(violation(
+                    "mirror-invariance",
+                    format!(
+                        "pair {i} {s}->{d} under mirror(fx={fx}, fy={fy}): verdicts \
+                         {original:?} became {reflected:?}"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn o_fault_monotone(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mesh = spec.mesh();
+    let faults = spec.fault_set();
+    let healthy: Vec<Coord> = mesh.nodes().filter(|&c| !faults.is_faulty(c)).collect();
+    if healthy.is_empty() || spec.pairs.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 1, 0));
+    let extra = healthy[rng.gen_range(0..healthy.len())];
+    let before = spec.scenario();
+    let mut grown = spec.clone();
+    grown.faults.push(extra);
+    let after = grown.scenario();
+    let mut out = Vec::new();
+    for &(s, d) in &spec.pairs {
+        let reachable_before =
+            reach::minimal_path_exists(&mesh, s, d, |c| before.blocks().is_blocked(c));
+        let reachable_after =
+            reach::minimal_path_exists(&mesh, s, d, |c| after.blocks().is_blocked(c));
+        if !reachable_before && reachable_after {
+            out.push(violation(
+                "fault-monotone",
+                format!("{s}->{d}: unreachable, but reachable after adding fault {extra}"),
+            ));
+        }
+    }
+    out
+}
+
+fn o_mesh3_layered_safe(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    use emr_mesh3::{conditions as c3, reach as reach3, Coord3, Mesh3, Scenario3};
+    let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 2, 0));
+    let side = rng.gen_range(3..=7i32);
+    let mesh = Mesh3::cube(side);
+    let nodes = (side * side * side) as usize;
+    let count = rng.gen_range(0..=nodes / 8);
+    let faults = emr_mesh3::inject::uniform(mesh, count, &[], &mut rng);
+    let sc = Scenario3::build(faults);
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        let s = Coord3::new(
+            rng.gen_range(0..side),
+            rng.gen_range(0..side),
+            rng.gen_range(0..side),
+        );
+        let d = Coord3::new(
+            rng.gen_range(0..side),
+            rng.gen_range(0..side),
+            rng.gen_range(0..side),
+        );
+        if s == d || c3::layered_safe(&sc, s, d).is_none() {
+            continue;
+        }
+        let dp = reach3::minimal_path_exists(&mesh, s, d, |c| sc.blocks().is_blocked(c));
+        if !dp {
+            out.push(violation(
+                "mesh3-layered-safe",
+                format!(
+                    "3-D cube side {side}: layered_safe fired for {s:?}->{d:?} but no \
+                     minimal path exists"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_are_unique_and_kebab() {
+        let mut seen = std::collections::HashSet::new();
+        for o in ORACLES {
+            assert!(seen.insert(o.name), "duplicate oracle {}", o.name);
+            assert!(o
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(oracle_by_name(o.name).is_some());
+        }
+        assert!(oracle_by_name("no-such-oracle").is_none());
+    }
+
+    #[test]
+    fn clean_scenarios_pass_every_oracle() {
+        let ctx = CheckCtx::default();
+        for seed in 0..20u64 {
+            let spec = ScenarioSpec::generate(seed);
+            let violations = check_spec(&spec, &ctx);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn sabotage_eventually_fires() {
+        let ctx = CheckCtx { sabotage: true };
+        let found = (0..80u64).any(|seed| {
+            let spec = ScenarioSpec::generate(seed);
+            check_spec(&spec, &ctx)
+                .iter()
+                .any(|v| v.oracle == "sufficient-implies-dp")
+        });
+        assert!(found, "phantom obstacle never produced a violation");
+    }
+
+    #[test]
+    fn panics_become_violations() {
+        fn panicky(_: &ScenarioSpec, _: &CheckCtx) -> Vec<Violation> {
+            panic!("intentional: {}", 42)
+        }
+        let oracle = Oracle {
+            name: "panicky",
+            claim: "always panics",
+            check: panicky,
+        };
+        let spec = ScenarioSpec::generate(0);
+        let out = check_oracle(&oracle, &spec, &CheckCtx::default());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].detail.contains("intentional"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The multi-threaded conformance sweep.
+//!
+//! Same deterministic worker-pool shape as the `emr-analysis` sweep
+//! engine: trials are split into fixed-size chunks handed out through an
+//! atomic cursor, and chunk results are merged in ascending chunk order,
+//! so the outcome is byte-identical for any `--threads` setting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::oracles::{check_spec, CheckCtx, Violation};
+use crate::spec::{derive_seed, ScenarioSpec};
+
+/// Trials per work item. Small enough to balance across threads, large
+/// enough to amortize the atomic fetch.
+const CHUNK_TRIALS: u32 = 16;
+
+/// Stream index reserved for per-trial seed derivation (streams 0–2 are
+/// used inside scenario expansion and the metamorphic oracles).
+const TRIAL_STREAM: usize = 3;
+
+/// Configuration of one conformance run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Master seed; every trial's scenario seed is derived from it.
+    pub master_seed: u64,
+    /// Number of scenarios to generate and check.
+    pub seeds: u32,
+    /// Worker threads (`None` = one per core).
+    pub threads: Option<usize>,
+    /// Corrupt the DP comparison to demonstrate shrinking (never in CI).
+    pub sabotage: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            master_seed: 0x00c0_4f04_2d5e_ed00,
+            seeds: 200,
+            threads: None,
+            sabotage: false,
+        }
+    }
+}
+
+/// One failing trial: which scenario and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedOutcome {
+    /// Trial index within the run.
+    pub trial: u32,
+    /// The derived scenario seed ([`ScenarioSpec::generate`] input).
+    pub seed: u64,
+    /// The spec that failed.
+    pub spec: ScenarioSpec,
+    /// Every oracle violation on this spec.
+    pub violations: Vec<Violation>,
+}
+
+/// The outcome of a conformance run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Scenarios checked.
+    pub checked: u32,
+    /// Failing trials in ascending trial order.
+    pub failures: Vec<SeedOutcome>,
+}
+
+/// The scenario seed of one trial.
+pub fn trial_seed(master_seed: u64, trial: u32) -> u64 {
+    derive_seed(master_seed, TRIAL_STREAM, trial)
+}
+
+fn check_trial(config: &RunConfig, ctx: &CheckCtx, trial: u32) -> Option<SeedOutcome> {
+    let seed = trial_seed(config.master_seed, trial);
+    let spec = ScenarioSpec::generate(seed);
+    let violations = check_spec(&spec, ctx);
+    if violations.is_empty() {
+        return None;
+    }
+    Some(SeedOutcome {
+        trial,
+        seed,
+        spec,
+        violations,
+    })
+}
+
+/// Runs the sweep. Deterministic in everything but wall-clock: the same
+/// `(master_seed, seeds, sabotage)` produce the same [`RunOutcome`] for
+/// any thread count.
+pub fn run(config: &RunConfig) -> RunOutcome {
+    let ctx = CheckCtx {
+        sabotage: config.sabotage,
+    };
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let chunk_count = config.seeds.div_ceil(CHUNK_TRIALS) as usize;
+    if threads == 1 || chunk_count <= 1 {
+        let failures = (0..config.seeds)
+            .filter_map(|t| check_trial(config, &ctx, t))
+            .collect();
+        return RunOutcome {
+            checked: config.seeds,
+            failures,
+        };
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut per_chunk: Vec<Vec<SeedOutcome>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(chunk_count))
+            .map(|_| {
+                let next = &next;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<SeedOutcome>)> = Vec::new();
+                    loop {
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunk_count {
+                            break;
+                        }
+                        let lo = chunk as u32 * CHUNK_TRIALS;
+                        let hi = (lo + CHUNK_TRIALS).min(config.seeds);
+                        let failures = (lo..hi)
+                            .filter_map(|t| check_trial(config, ctx, t))
+                            .collect();
+                        mine.push((chunk, failures));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<(usize, Vec<SeedOutcome>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("conformance worker panicked"))
+            .collect();
+        all.sort_by_key(|&(chunk, _)| chunk);
+        per_chunk = all.into_iter().map(|(_, v)| v).collect();
+    });
+    RunOutcome {
+        checked: config.seeds,
+        failures: per_chunk.into_iter().flatten().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_is_thread_count_independent() {
+        let base = RunConfig {
+            seeds: 48,
+            sabotage: true, // Guarantees some failures to compare.
+            ..RunConfig::default()
+        };
+        let single = run(&RunConfig {
+            threads: Some(1),
+            ..base.clone()
+        });
+        for t in [2, 4, 7] {
+            let multi = run(&RunConfig {
+                threads: Some(t),
+                ..base.clone()
+            });
+            assert_eq!(single, multi, "threads={t} diverged");
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_failures() {
+        let outcome = run(&RunConfig {
+            seeds: 32,
+            threads: Some(2),
+            ..RunConfig::default()
+        });
+        assert_eq!(outcome.checked, 32);
+        assert!(
+            outcome.failures.is_empty(),
+            "violations: {:?}",
+            outcome.failures
+        );
+    }
+}

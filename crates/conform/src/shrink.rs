@@ -1,0 +1,304 @@
+//! Greedy counterexample shrinking.
+//!
+//! The vendored `proptest` stand-in has no shrinking, so the harness
+//! carries its own: given a failing [`ScenarioSpec`] and a predicate that
+//! re-checks the failure, it minimizes the mesh dimensions, the fault set,
+//! the pair list, and the source/destination separation, accepting any
+//! transformation that preserves the failure. All passes are deterministic,
+//! so a shrink is reproducible from the original spec alone.
+
+use emr_mesh::Coord;
+
+use crate::oracles::{check_oracle, oracle_by_name, CheckCtx, Violation};
+use crate::spec::{Injection, ScenarioSpec};
+
+/// Upper bound on accepted shrink steps (a safety net; every acceptance
+/// strictly reduces [`ScenarioSpec::weight`], so termination is guaranteed
+/// well before this).
+const MAX_ACCEPTS: u32 = 10_000;
+
+/// Structural validity the generator guarantees and every shrink candidate
+/// must preserve.
+fn well_formed(spec: &ScenarioSpec) -> bool {
+    if spec.width < 1 || spec.height < 1 {
+        return false;
+    }
+    let mesh = spec.mesh();
+    if !spec.faults.iter().all(|&f| mesh.contains(f)) {
+        return false;
+    }
+    spec.pairs.iter().all(|&(s, d)| {
+        s != d
+            && mesh.contains(s)
+            && mesh.contains(d)
+            && !spec.faults.contains(&s)
+            && !spec.faults.contains(&d)
+    })
+}
+
+/// Shrinks a failing spec while `still_fails` holds. The input must
+/// satisfy the predicate; the result does too and is a local minimum of
+/// the passes below.
+pub fn shrink(spec: &ScenarioSpec, still_fails: &dyn Fn(&ScenarioSpec) -> bool) -> ScenarioSpec {
+    debug_assert!(still_fails(spec), "shrink called on a passing spec");
+    let mut current = spec.clone();
+    current.injection = Injection::Explicit;
+    let mut accepts = 0u32;
+    loop {
+        let before = current.weight();
+        for pass in [shrink_pairs, shrink_faults, shrink_dims, shrink_separation] {
+            while let Some(smaller) = pass(&current, still_fails) {
+                debug_assert!(smaller.weight() < current.weight());
+                current = smaller;
+                accepts += 1;
+                if accepts >= MAX_ACCEPTS {
+                    return current;
+                }
+            }
+        }
+        if current.weight() == before {
+            return current;
+        }
+    }
+}
+
+/// Convenience wrapper: shrinks preserving "the named oracle still
+/// reports at least one violation", and returns the violations of the
+/// shrunk spec.
+pub fn shrink_for_oracle(
+    spec: &ScenarioSpec,
+    oracle_name: &str,
+    ctx: &CheckCtx,
+) -> (ScenarioSpec, Vec<Violation>) {
+    let oracle = oracle_by_name(oracle_name).expect("unknown oracle name");
+    let still_fails =
+        move |candidate: &ScenarioSpec| !check_oracle(oracle, candidate, ctx).is_empty();
+    let shrunk = shrink(spec, &still_fails);
+    let violations = check_oracle(oracle, &shrunk, ctx);
+    (shrunk, violations)
+}
+
+fn accept(
+    candidate: ScenarioSpec,
+    still_fails: &dyn Fn(&ScenarioSpec) -> bool,
+) -> Option<ScenarioSpec> {
+    (well_formed(&candidate) && still_fails(&candidate)).then_some(candidate)
+}
+
+/// Keeps a single pair, or drops one pair (single failing pairs shrink
+/// fastest, so the 1-of-n candidates come first).
+fn shrink_pairs(
+    spec: &ScenarioSpec,
+    still_fails: &dyn Fn(&ScenarioSpec) -> bool,
+) -> Option<ScenarioSpec> {
+    if spec.pairs.len() > 1 {
+        for i in 0..spec.pairs.len() {
+            let mut candidate = spec.clone();
+            candidate.pairs = vec![spec.pairs[i]];
+            if let Some(ok) = accept(candidate, still_fails) {
+                return Some(ok);
+            }
+        }
+        for i in 0..spec.pairs.len() {
+            let mut candidate = spec.clone();
+            candidate.pairs.remove(i);
+            if let Some(ok) = accept(candidate, still_fails) {
+                return Some(ok);
+            }
+        }
+    } else if spec.pairs.len() == 1 {
+        let mut candidate = spec.clone();
+        candidate.pairs.clear();
+        if let Some(ok) = accept(candidate, still_fails) {
+            return Some(ok);
+        }
+    }
+    None
+}
+
+/// Removes faults: first halves (delta-debugging style), then singles.
+fn shrink_faults(
+    spec: &ScenarioSpec,
+    still_fails: &dyn Fn(&ScenarioSpec) -> bool,
+) -> Option<ScenarioSpec> {
+    let n = spec.faults.len();
+    if n == 0 {
+        return None;
+    }
+    let mut chunk = n.div_ceil(2);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut candidate = spec.clone();
+            candidate.faults.drain(start..end);
+            if let Some(ok) = accept(candidate, still_fails) {
+                return Some(ok);
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    None
+}
+
+/// Shrinks the mesh by clipping the far edge or translating everything
+/// toward the origin and then clipping.
+fn shrink_dims(
+    spec: &ScenarioSpec,
+    still_fails: &dyn Fn(&ScenarioSpec) -> bool,
+) -> Option<ScenarioSpec> {
+    let all_coords = |s: &ScenarioSpec| {
+        s.faults
+            .iter()
+            .copied()
+            .chain(s.pairs.iter().flat_map(|&(a, b)| [a, b]))
+            .collect::<Vec<_>>()
+    };
+    let coords = all_coords(spec);
+
+    // Clip east edge.
+    if spec.width > 1 && coords.iter().all(|c| c.x < spec.width - 1) {
+        let mut candidate = spec.clone();
+        candidate.width -= 1;
+        if let Some(ok) = accept(candidate, still_fails) {
+            return Some(ok);
+        }
+    }
+    // Clip north edge.
+    if spec.height > 1 && coords.iter().all(|c| c.y < spec.height - 1) {
+        let mut candidate = spec.clone();
+        candidate.height -= 1;
+        if let Some(ok) = accept(candidate, still_fails) {
+            return Some(ok);
+        }
+    }
+    // Translate west and clip.
+    if spec.width > 1 && (coords.is_empty() || coords.iter().all(|c| c.x >= 1)) {
+        let mut candidate = spec.clone();
+        candidate.width -= 1;
+        translate(&mut candidate, -1, 0);
+        if let Some(ok) = accept(candidate, still_fails) {
+            return Some(ok);
+        }
+    }
+    // Translate south and clip.
+    if spec.height > 1 && (coords.is_empty() || coords.iter().all(|c| c.y >= 1)) {
+        let mut candidate = spec.clone();
+        candidate.height -= 1;
+        translate(&mut candidate, 0, -1);
+        if let Some(ok) = accept(candidate, still_fails) {
+            return Some(ok);
+        }
+    }
+    None
+}
+
+fn translate(spec: &mut ScenarioSpec, dx: i32, dy: i32) {
+    let shift = |c: Coord| Coord::new(c.x + dx, c.y + dy);
+    for f in &mut spec.faults {
+        *f = shift(*f);
+    }
+    for (s, d) in &mut spec.pairs {
+        *s = shift(*s);
+        *d = shift(*d);
+    }
+}
+
+/// Moves each pair's endpoints one step toward each other.
+fn shrink_separation(
+    spec: &ScenarioSpec,
+    still_fails: &dyn Fn(&ScenarioSpec) -> bool,
+) -> Option<ScenarioSpec> {
+    for i in 0..spec.pairs.len() {
+        let (s, d) = spec.pairs[i];
+        if s.manhattan(d) <= 1 {
+            continue;
+        }
+        let steps_toward = |from: Coord, to: Coord| {
+            let mut opts = Vec::with_capacity(2);
+            if to.x != from.x {
+                opts.push(Coord::new(from.x + (to.x - from.x).signum(), from.y));
+            }
+            if to.y != from.y {
+                opts.push(Coord::new(from.x, from.y + (to.y - from.y).signum()));
+            }
+            opts
+        };
+        for s2 in steps_toward(s, d) {
+            let mut candidate = spec.clone();
+            candidate.pairs[i] = (s2, d);
+            if let Some(ok) = accept(candidate, still_fails) {
+                return Some(ok);
+            }
+        }
+        for d2 in steps_toward(d, s) {
+            let mut candidate = spec.clone();
+            candidate.pairs[i] = (s, d2);
+            if let Some(ok) = accept(candidate, still_fails) {
+                return Some(ok);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A predicate independent of the oracle table: "some fault lies on
+    /// the first pair's bounding rectangle" — shrinks must preserve it.
+    fn fault_in_rect(spec: &ScenarioSpec) -> bool {
+        let Some(&(s, d)) = spec.pairs.first() else {
+            return false;
+        };
+        spec.faults.iter().any(|f| {
+            f.x >= s.x.min(d.x) && f.x <= s.x.max(d.x) && f.y >= s.y.min(d.y) && f.y <= s.y.max(d.y)
+        })
+    }
+
+    #[test]
+    fn shrinks_to_a_tiny_spec() {
+        let mut found = 0;
+        for seed in 0..200u64 {
+            let spec = ScenarioSpec::generate(seed);
+            if !fault_in_rect(&spec) {
+                continue;
+            }
+            found += 1;
+            let shrunk = shrink(&spec, &fault_in_rect);
+            assert!(fault_in_rect(&shrunk), "seed {seed} lost the predicate");
+            assert!(well_formed(&shrunk), "seed {seed} shrunk to invalid spec");
+            assert!(shrunk.weight() <= spec.weight());
+            assert!(
+                shrunk.width <= 3 && shrunk.height <= 3,
+                "seed {seed}: shrunk only to {}x{}",
+                shrunk.width,
+                shrunk.height
+            );
+            assert!(shrunk.faults.len() <= 2, "seed {seed}");
+            assert!(shrunk.pairs.len() == 1, "seed {seed}");
+            if found >= 10 {
+                break;
+            }
+        }
+        assert!(found >= 5, "predicate held on only {found} of 200 seeds");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        for seed in 0..60u64 {
+            let spec = ScenarioSpec::generate(seed);
+            if !fault_in_rect(&spec) {
+                continue;
+            }
+            let a = shrink(&spec, &fault_in_rect);
+            let b = shrink(&spec, &fault_in_rect);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for Wang's coverage condition as a standalone API:
+//! the per-axis predicates decompose the combined condition exactly, each
+//! axis individually implies unreachability against the DP oracle, and all
+//! three predicates are invariant under reordering of the block slice.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom as _;
+use rand::SeedableRng;
+
+use emr_fault::{coverage, reach, BlockMap, FaultSet};
+use emr_mesh::{Coord, Mesh, Rect};
+
+/// One generated case: mesh, fault coordinates, source, destination, and a
+/// shuffle seed for the reordering property.
+type Case = (Mesh, Vec<(i32, i32)>, (i32, i32), (i32, i32), u64);
+
+fn config() -> impl Strategy<Value = Case> {
+    (6i32..=14, 0usize..=20).prop_flat_map(|(n, k)| {
+        let cell = 0..n;
+        (
+            Just(Mesh::square(n)),
+            proptest::collection::vec((cell.clone(), cell.clone()), k),
+            (cell.clone(), cell.clone()),
+            (cell.clone(), cell),
+            0u64..u64::MAX,
+        )
+    })
+}
+
+fn model_blocks(mesh: Mesh, faults: Vec<(i32, i32)>) -> (BlockMap, Vec<Rect>) {
+    let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
+    let blocks = BlockMap::build(&set);
+    let rects = blocks.rects();
+    (blocks, rects)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `minimal_path_exists_by_coverage` is exactly the conjunction of the
+    /// two per-axis predicates being false.
+    #[test]
+    fn per_axis_predicates_decompose_the_condition(
+        (mesh, faults, s, d, _) in config()
+    ) {
+        let (_, rects) = model_blocks(mesh, faults);
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        prop_assert_eq!(
+            coverage::minimal_path_exists_by_coverage(&rects, s, d),
+            !coverage::covers_on_y(&rects, s, d) && !coverage::covers_on_x(&rects, s, d)
+        );
+    }
+
+    /// Each axis on its own is sufficient for unreachability: whenever a
+    /// covering sequence exists on x or on y, the DP finds no minimal path.
+    /// (The converse — no covering on either axis implies reachability — is
+    /// the iff direction already pinned in `properties.rs`.)
+    #[test]
+    fn each_covering_axis_implies_dp_unreachable(
+        (mesh, faults, s, d, _) in config()
+    ) {
+        let (blocks, rects) = model_blocks(mesh, faults);
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        prop_assume!(!blocks.is_blocked(s) && !blocks.is_blocked(d));
+        let dp = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
+        if coverage::covers_on_y(&rects, s, d) {
+            prop_assert!(!dp, "covers_on_y but DP reachable: s={s}, d={d}");
+        }
+        if coverage::covers_on_x(&rects, s, d) {
+            prop_assert!(!dp, "covers_on_x but DP reachable: s={s}, d={d}");
+        }
+    }
+
+    /// The covering search scans for *some* chain of blocks, so its answer
+    /// must not depend on the order blocks appear in the slice.
+    #[test]
+    fn coverage_is_invariant_under_block_reordering(
+        (mesh, faults, s, d, shuffle_seed) in config()
+    ) {
+        let (_, rects) = model_blocks(mesh, faults);
+        let s = Coord::from(s);
+        let d = Coord::from(d);
+        let base = (
+            coverage::covers_on_y(&rects, s, d),
+            coverage::covers_on_x(&rects, s, d),
+            coverage::minimal_path_exists_by_coverage(&rects, s, d),
+        );
+
+        let mut reversed = rects.clone();
+        reversed.reverse();
+        let mut shuffled = rects.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        for order in [&reversed, &shuffled] {
+            prop_assert_eq!(
+                base,
+                (
+                    coverage::covers_on_y(order, s, d),
+                    coverage::covers_on_x(order, s, d),
+                    coverage::minimal_path_exists_by_coverage(order, s, d),
+                )
+            );
+        }
+    }
+}

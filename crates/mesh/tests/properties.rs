@@ -8,6 +8,16 @@ fn coords() -> impl Strategy<Value = Coord> {
     (-50i32..50, -50i32..50).prop_map(|(x, y)| Coord::new(x, y))
 }
 
+/// Reflection of `c` through the mesh's vertical (`fx`) and/or horizontal
+/// (`fy`) center line — the metamorphic transform used by the conformance
+/// harness's mirror oracle.
+fn mirror(mesh: &Mesh, c: Coord, fx: bool, fy: bool) -> Coord {
+    Coord::new(
+        if fx { mesh.width() - 1 - c.x } else { c.x },
+        if fy { mesh.height() - 1 - c.y } else { c.y },
+    )
+}
+
 proptest! {
     #[test]
     fn manhattan_is_a_metric(a in coords(), b in coords(), c in coords()) {
@@ -96,6 +106,50 @@ proptest! {
     }
 
     #[test]
+    fn mesh_mirrorings_are_involutions(
+        n in 2i32..14,
+        x in 0i32..14,
+        y in 0i32..14,
+        p in coords(),
+    ) {
+        let mesh = Mesh::square(n);
+        let c = Coord::new(x.min(n - 1), y.min(n - 1));
+        for (fx, fy) in [(true, false), (false, true), (true, true)] {
+            let m = mirror(&mesh, c, fx, fy);
+            prop_assert!(mesh.contains(m));
+            prop_assert_eq!(mirror(&mesh, m, fx, fy), c);
+            // Mirroring is an isometry of the Manhattan metric.
+            prop_assert_eq!(
+                mirror(&mesh, c, fx, fy).manhattan(mirror(&mesh, Coord::new(
+                    p.x.rem_euclid(n),
+                    p.y.rem_euclid(n)
+                ), fx, fy)),
+                c.manhattan(Coord::new(p.x.rem_euclid(n), p.y.rem_euclid(n)))
+            );
+        }
+    }
+
+    /// Off the axes, mirroring maps quadrants exactly as the geometry says:
+    /// an x-flip swaps I with II and III with IV (flipping the MCC type), a
+    /// y-flip swaps I with IV and II with III (also flipping the type), and
+    /// the point reflection preserves the type.
+    #[test]
+    fn strict_quadrants_mirror_faithfully(n in 3i32..14, s in coords(), d in coords()) {
+        let mesh = Mesh::square(n);
+        let s = Coord::new(s.x.rem_euclid(n), s.y.rem_euclid(n));
+        let d = Coord::new(d.x.rem_euclid(n), d.y.rem_euclid(n));
+        prop_assume!(s.x != d.x && s.y != d.y);
+        let q = Quadrant::of(s, d);
+        for (fx, fy) in [(true, false), (false, true), (true, true)] {
+            let mq = Quadrant::of(mirror(&mesh, s, fx, fy), mirror(&mesh, d, fx, fy));
+            prop_assert_eq!(mq.x_positive(), q.x_positive() ^ fx);
+            prop_assert_eq!(mq.y_positive(), q.y_positive() ^ fy);
+            let type_flips = fx ^ fy;
+            prop_assert_eq!(mq.is_type_one(), q.is_type_one() ^ type_flips);
+        }
+    }
+
+    #[test]
     fn mesh_neighbor_symmetry(n in 2i32..12, x in 0i32..12, y in 0i32..12) {
         let mesh = Mesh::square(n);
         let c = Coord::new(x.min(n - 1), y.min(n - 1));
@@ -105,4 +159,37 @@ proptest! {
             prop_assert_eq!(c.manhattan(v), 1);
         }
     }
+}
+
+/// On the quadrant boundary the fold convention is *chiral*: an axis-aligned
+/// pair folds onto the same MCC labeling type in both mirror orientations,
+/// while the faithful mirror of a type-one check would be a type-two check.
+/// Pinned here because the conformance harness's mirror oracle must scope
+/// MCC comparisons to `|dx| >= 2 && |dy| >= 2` for exactly this reason; if
+/// this test starts failing the convention changed and that scope should be
+/// revisited.
+#[test]
+fn axis_aligned_quadrant_fold_is_chiral() {
+    let mesh = Mesh::square(11);
+    let s = Coord::new(5, 2);
+    let d = Coord::new(5, 8); // due north: dx = 0 folds into quadrant I
+    assert_eq!(Quadrant::of(s, d), Quadrant::I);
+    assert!(Quadrant::of(s, d).is_type_one());
+
+    // X-mirror leaves the column fixed, so the folded quadrant — and hence
+    // the labeling type — is unchanged, even though a faithful mirror of a
+    // type-one route is a type-two route.
+    let ms = Coord::new(mesh.width() - 1 - s.x, s.y);
+    let md = Coord::new(mesh.width() - 1 - d.x, d.y);
+    assert_eq!(Quadrant::of(ms, md), Quadrant::I);
+    assert!(
+        Quadrant::of(ms, md).is_type_one(),
+        "fold is chiral on dx == 0"
+    );
+
+    // Off the axis the same mirror flips the type faithfully.
+    let d2 = Coord::new(7, 8);
+    let md2 = Coord::new(mesh.width() - 1 - d2.x, d2.y);
+    assert!(Quadrant::of(s, d2).is_type_one());
+    assert!(!Quadrant::of(ms, md2).is_type_one());
 }

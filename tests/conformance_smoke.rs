@@ -1,0 +1,26 @@
+//! Facade-level smoke of the cross-layer conformance harness: a short
+//! clean sweep finds no violations, and the sweep's determinism holds at
+//! the workspace boundary (the CI job runs the full 200-seed version).
+
+use emr_conform::{run, RunConfig};
+
+#[test]
+fn short_conformance_sweep_is_clean_and_deterministic() {
+    let config = RunConfig {
+        seeds: 24,
+        threads: Some(2),
+        ..RunConfig::default()
+    };
+    let outcome = run(&config);
+    assert_eq!(outcome.checked, 24);
+    assert!(
+        outcome.failures.is_empty(),
+        "cross-layer violations: {:?}",
+        outcome.failures
+    );
+    let again = run(&RunConfig {
+        threads: Some(1),
+        ..config
+    });
+    assert_eq!(outcome, again, "sweep depends on thread count");
+}
