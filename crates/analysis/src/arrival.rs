@@ -1,0 +1,217 @@
+//! Fault-arrival-sequence sweep: incremental epoch repair vs from-scratch
+//! rebuild.
+//!
+//! The paper's premise is that "when a disturbance occurs, only those
+//! affected nodes update their information". This module quantifies the
+//! claim at the data-structure level: random fault-arrival sequences are
+//! replayed twice — once through [`emr_core::ScenarioState::insert_fault`]
+//! (clipped relabeling + lane resweeps) and once by rebuilding a fresh
+//! [`emr_core::Scenario`] from the accumulated fault set after every
+//! arrival — and the wall-clock cost of each side is accumulated.
+//!
+//! Correctness is not assumed: after every arrival a checksum over both
+//! decompositions and all three safety maps is computed *outside* the
+//! timed regions and compared, so a divergence between the incremental
+//! and rebuilt states fails the sweep rather than skewing its numbers.
+//! The run is single-threaded and fully determined by the master seed.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use emr_core::{Scenario, ScenarioState};
+use emr_fault::{FaultSet, MccType};
+use emr_mesh::{Coord, Mesh};
+
+/// Configuration of one arrival sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalConfig {
+    /// Mesh side length.
+    pub mesh_size: i32,
+    /// Fault arrivals per sequence (all distinct nodes).
+    pub faults: usize,
+    /// Independent arrival sequences.
+    pub sequences: u32,
+    /// Master seed; the sweep is deterministic given the configuration.
+    pub seed: u64,
+}
+
+impl Default for ArrivalConfig {
+    /// The acceptance setup: a 64×64 mesh accumulating 32 faults.
+    fn default() -> Self {
+        ArrivalConfig {
+            mesh_size: 64,
+            faults: 32,
+            sequences: 5,
+            seed: 0x2002_1c05,
+        }
+    }
+}
+
+/// Accumulated costs of one arrival sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ArrivalReport {
+    /// Mesh side length.
+    pub mesh_size: i32,
+    /// Sequences replayed.
+    pub sequences: u32,
+    /// Total accepted arrivals (epochs) across all sequences.
+    pub epochs: u64,
+    /// Total nanoseconds spent in incremental repair.
+    pub incremental_ns: u64,
+    /// Total nanoseconds spent rebuilding from scratch.
+    pub rebuild_ns: u64,
+}
+
+impl ArrivalReport {
+    /// Mean incremental cost per epoch in microseconds.
+    pub fn incremental_us_per_epoch(&self) -> f64 {
+        self.per_epoch_us(self.incremental_ns)
+    }
+
+    /// Mean rebuild cost per epoch in microseconds.
+    pub fn rebuild_us_per_epoch(&self) -> f64 {
+        self.per_epoch_us(self.rebuild_ns)
+    }
+
+    /// Rebuild cost over incremental cost (>1 means incremental wins).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.rebuild_ns as f64 / self.incremental_ns as f64
+        }
+    }
+
+    fn per_epoch_us(&self, ns: u64) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            ns as f64 / 1000.0 / self.epochs as f64
+        }
+    }
+}
+
+/// Forces every derived map both sides are timed on, and folds the whole
+/// observable state into one checksum (FNV-1a over decomposition states
+/// and safety tuples).
+fn checksum(sc: &Scenario) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for c in sc.mesh().nodes() {
+        mix(sc.blocks().state(c) as u64);
+        for d in sc.block_safety_map().level(c).as_tuple() {
+            mix(d as u64);
+        }
+        for ty in MccType::ALL {
+            mix(sc.mcc(ty).status(c) as u64);
+            for d in sc.mcc_safety_map(ty).level(c).as_tuple() {
+                mix(d as u64);
+            }
+        }
+    }
+    h
+}
+
+/// Runs the sweep: replays `cfg.sequences` random arrival sequences
+/// through the incremental and the rebuild path, checking both agree
+/// after every arrival.
+///
+/// # Panics
+///
+/// Panics if the incremental state ever diverges from the rebuilt one
+/// (that would be a correctness bug, not a measurement).
+pub fn run(cfg: &ArrivalConfig) -> ArrivalReport {
+    let mesh = Mesh::square(cfg.mesh_size);
+    let mut report = ArrivalReport {
+        mesh_size: cfg.mesh_size,
+        sequences: cfg.sequences,
+        epochs: 0,
+        incremental_ns: 0,
+        rebuild_ns: 0,
+    };
+    for seq in 0..cfg.sequences {
+        let mut state = cfg.seed;
+        let a = rand::splitmix64(&mut state);
+        let mut rng = StdRng::seed_from_u64(a ^ u64::from(seq));
+        let mut chosen = HashSet::new();
+        let mut arrivals = Vec::with_capacity(cfg.faults);
+        while arrivals.len() < cfg.faults.min((cfg.mesh_size * cfg.mesh_size) as usize) {
+            let c = Coord::new(
+                rng.gen_range(0..cfg.mesh_size),
+                rng.gen_range(0..cfg.mesh_size),
+            );
+            if chosen.insert(c) {
+                arrivals.push(c);
+            }
+        }
+
+        // The incremental side starts warm; epoch 0 is not timed (both
+        // sides would pay the same initial build).
+        let mut incremental = ScenarioState::new(FaultSet::new(mesh));
+        let mut prefix = Vec::with_capacity(arrivals.len());
+        for &c in &arrivals {
+            prefix.push(c);
+
+            let t = Instant::now();
+            incremental.insert_fault(c);
+            report.incremental_ns += t.elapsed().as_nanos() as u64;
+
+            let t = Instant::now();
+            let rebuilt = Scenario::build(FaultSet::from_coords(mesh, prefix.iter().copied()));
+            // A fresh scenario is lazy; timing must include deriving the
+            // same maps the incremental side just repaired.
+            rebuilt.block_safety_map();
+            for ty in MccType::ALL {
+                rebuilt.mcc_safety_map(ty);
+            }
+            report.rebuild_ns += t.elapsed().as_nanos() as u64;
+
+            report.epochs += 1;
+            assert_eq!(
+                checksum(incremental.scenario()),
+                checksum(&rebuilt),
+                "incremental state diverged from rebuild (seq {seq}, fault {c})"
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_checks() {
+        let report = run(&ArrivalConfig {
+            mesh_size: 12,
+            faults: 6,
+            sequences: 2,
+            seed: 11,
+        });
+        assert_eq!(report.epochs, 12);
+        assert!(report.incremental_ns > 0);
+        assert!(report.rebuild_ns > 0);
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_everything_but_time() {
+        let cfg = ArrivalConfig {
+            mesh_size: 10,
+            faults: 5,
+            sequences: 2,
+            seed: 3,
+        };
+        let (a, b) = (run(&cfg), run(&cfg));
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.mesh_size, b.mesh_size);
+    }
+}

@@ -7,13 +7,18 @@
 //! * [`sweep`] — the shared trial harness: sweeps the fault count,
 //!   generates scenarios exactly as §5 describes (source at the mesh
 //!   center, destination uniform in the first-quadrant submesh, endpoints
-//!   outside every faulty block), and accumulates per-series percentages.
+//!   outside every faulty block), and accumulates per-series percentages,
+//! * [`arrival`] — fault-arrival sequences replayed through the epoched
+//!   incremental path vs a from-scratch rebuild per arrival, with the two
+//!   states checksummed against each other after every epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affected;
+pub mod arrival;
 pub mod stats;
 pub mod sweep;
 
+pub use arrival::{ArrivalConfig, ArrivalReport};
 pub use sweep::{SeriesTable, SweepConfig};

@@ -1,0 +1,115 @@
+//! Benchmarks epoched incremental fault absorption against per-arrival
+//! rebuilds and records the result to `BENCH_epoch.json`.
+//!
+//! Run with `cargo run --release -p emr-bench --bin epoch_bench`. Flags:
+//! `--mesh <n>` (side length, default 64), `--faults <k>` (arrivals per
+//! sequence, default 32), `--sequences <m>` (default 5), `--seed <s>`,
+//! `--out <path>` (default `BENCH_epoch.json`).
+//!
+//! The underlying sweep ([`emr_analysis::arrival`]) checksums the
+//! incremental state against the rebuilt state after every arrival, so
+//! the numbers come with an equivalence check built in.
+
+use serde::Serialize;
+
+use emr_analysis::arrival::{self, ArrivalConfig};
+
+/// The record written to `BENCH_epoch.json`.
+#[derive(Debug, Serialize)]
+struct EpochRecord {
+    /// Mesh side length.
+    mesh_size: i32,
+    /// Fault arrivals per sequence.
+    faults: usize,
+    /// Arrival sequences replayed.
+    sequences: u32,
+    /// Total epochs (accepted arrivals) measured.
+    epochs: u64,
+    /// Mean cost of one incremental epoch repair, in microseconds.
+    incremental_us_per_epoch: f64,
+    /// Mean cost of one from-scratch rebuild, in microseconds.
+    rebuild_us_per_epoch: f64,
+    /// Rebuild cost over incremental cost (>1 means incremental wins).
+    speedup: f64,
+}
+
+fn parse_args() -> Result<(ArrivalConfig, String), String> {
+    let mut cfg = ArrivalConfig::default();
+    let mut out = String::from("BENCH_epoch.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--mesh" => {
+                cfg.mesh_size = value("--mesh")?
+                    .parse()
+                    .map_err(|e| format!("--mesh: {e}"))?;
+            }
+            "--faults" => {
+                cfg.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+            }
+            "--sequences" => {
+                cfg.sequences = value("--sequences")?
+                    .parse()
+                    .map_err(|e| format!("--sequences: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (expected --mesh, --faults, --sequences, --seed, --out)"
+                ));
+            }
+        }
+    }
+    if cfg.mesh_size < 1 {
+        return Err("--mesh must be at least 1".into());
+    }
+    Ok((cfg, out))
+}
+
+fn main() {
+    let (cfg, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "epoch bench: {n}x{n} mesh, {k} arrivals x {m} sequence(s)",
+        n = cfg.mesh_size,
+        k = cfg.faults,
+        m = cfg.sequences,
+    );
+    let report = arrival::run(&cfg);
+    let record = EpochRecord {
+        mesh_size: report.mesh_size,
+        faults: cfg.faults,
+        sequences: report.sequences,
+        epochs: report.epochs,
+        incremental_us_per_epoch: report.incremental_us_per_epoch(),
+        rebuild_us_per_epoch: report.rebuild_us_per_epoch(),
+        speedup: report.speedup(),
+    };
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("creating output directory");
+        }
+    }
+    let json = serde_json::to_string_pretty(&record).expect("serializing epoch record");
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "incremental {:.1} us/epoch vs rebuild {:.1} us/epoch ({:.1}x) -> {out}",
+        record.incremental_us_per_epoch, record.rebuild_us_per_epoch, record.speedup
+    );
+}

@@ -24,11 +24,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use serde::{Deserialize, Serialize};
 
 use emr_core::conditions::{StrategyKind, StrategyParams};
-use emr_core::{conditions, route, Ensured, Model, ModelView, RouteError, Scenario};
+use emr_core::{
+    conditions, decide_local, route, DecisionCache, Ensured, Model, ModelView, RouteError,
+    Scenario, ScenarioState,
+};
 use emr_distsim::protocols::esl::{self, EslFormation};
 use emr_distsim::protocols::labeling::{BlockLabeling, BlockStatus, MccLabeling};
 use emr_distsim::Engine;
-use emr_fault::{coverage, reach, MccType, NodeState};
+use emr_fault::{coverage, reach, FaultSet, MccType, NodeState};
 use emr_mesh::{Coord, Grid, Mesh};
 use emr_netsim::{NetSim, Packet, WuRouter};
 use rand::rngs::StdRng;
@@ -102,6 +105,14 @@ pub const ORACLES: &[Oracle] = &[
         claim: "packets with minimal-ensured plans are all delivered in \
                 exactly manhattan(s, d) hops (ground truth: the plan)",
         check: o_netsim_hops,
+    },
+    Oracle {
+        name: "state-matches-rebuild",
+        claim: "replaying the faults as epoched arrivals leaves the \
+                incremental state identical to a from-scratch rebuild after \
+                every epoch, and every cache-fresh decision equals a \
+                recompute (ground truth: Scenario::build)",
+        check: o_state_matches_rebuild,
     },
     Oracle {
         name: "mirror-invariance",
@@ -548,6 +559,127 @@ fn o_netsim_hops(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
                 report.total_hops, report.total_manhattan
             ),
         ));
+    }
+    out
+}
+
+fn o_state_matches_rebuild(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mesh = spec.mesh();
+    let mut state = ScenarioState::new(FaultSet::new(mesh));
+    let mut cache = DecisionCache::new();
+    let mut prefix: Vec<Coord> = Vec::new();
+    let sorted_rects = |s: &Scenario| {
+        let mut r = s.blocks().rects();
+        r.sort_by_key(|r| (r.x_min(), r.y_min()));
+        r
+    };
+    let sorted_comps = |s: &Scenario, ty: MccType| {
+        let mut comps: Vec<Vec<Coord>> = s
+            .mcc(ty)
+            .components()
+            .iter()
+            .map(|m| {
+                let mut nodes = m.nodes().to_vec();
+                nodes.sort_by_key(|n| (n.y, n.x));
+                nodes
+            })
+            .collect();
+        comps.sort();
+        comps
+    };
+    for (k, &f) in spec.faults.iter().enumerate() {
+        // Warm the decision cache at the pre-arrival epoch so freshness
+        // claims span the insertion.
+        for &(s, d) in &spec.pairs {
+            for model in Model::ALL {
+                cache.decide(&state, model, s, d);
+            }
+        }
+        state.insert_fault(f);
+        prefix.push(f);
+        let rebuilt = Scenario::build(FaultSet::from_coords(mesh, prefix.iter().copied()));
+        let sc = state.scenario();
+        for c in mesh.nodes() {
+            if sc.blocks().state(c) != rebuilt.blocks().state(c) {
+                out.push(violation(
+                    "state-matches-rebuild",
+                    format!(
+                        "epoch {k} (fault {f}): block state at {c}: incremental {:?}, \
+                         rebuilt {:?}",
+                        sc.blocks().state(c),
+                        rebuilt.blocks().state(c)
+                    ),
+                ));
+            }
+            if sc.block_safety_map().level(c) != rebuilt.block_safety_map().level(c) {
+                out.push(violation(
+                    "state-matches-rebuild",
+                    format!("epoch {k} (fault {f}): block safety at {c} diverged"),
+                ));
+            }
+            for ty in MccType::ALL {
+                if sc.mcc(ty).status(c) != rebuilt.mcc(ty).status(c) {
+                    out.push(violation(
+                        "state-matches-rebuild",
+                        format!(
+                            "epoch {k} (fault {f}): MCC {ty:?} status at {c}: incremental \
+                             {:?}, rebuilt {:?}",
+                            sc.mcc(ty).status(c),
+                            rebuilt.mcc(ty).status(c)
+                        ),
+                    ));
+                }
+                if sc.mcc_safety_map(ty).level(c) != rebuilt.mcc_safety_map(ty).level(c) {
+                    out.push(violation(
+                        "state-matches-rebuild",
+                        format!("epoch {k} (fault {f}): MCC {ty:?} safety at {c} diverged"),
+                    ));
+                }
+            }
+        }
+        if sorted_rects(sc) != sorted_rects(&rebuilt) {
+            out.push(violation(
+                "state-matches-rebuild",
+                format!(
+                    "epoch {k} (fault {f}): block rects: incremental {:?}, rebuilt {:?}",
+                    sorted_rects(sc),
+                    sorted_rects(&rebuilt)
+                ),
+            ));
+        }
+        for ty in MccType::ALL {
+            if sorted_comps(sc, ty) != sorted_comps(&rebuilt, ty) {
+                out.push(violation(
+                    "state-matches-rebuild",
+                    format!("epoch {k} (fault {f}): MCC {ty:?} component sets diverged"),
+                ));
+            }
+        }
+        // Every decision the cache still claims fresh across this epoch
+        // must be bit-identical to a recompute on the updated state.
+        for &(s, d) in &spec.pairs {
+            for model in Model::ALL {
+                if let Some(cached) = cache.peek_fresh(&state, model, s, d) {
+                    let view = sc.view(model);
+                    let fresh = decide_local(&view, s, d);
+                    if cached != fresh {
+                        out.push(violation(
+                            "state-matches-rebuild",
+                            format!(
+                                "epoch {k} (fault {f}): [{}] cached decision for {s}->{d} \
+                                 claims fresh but differs: cached {cached:?}, recomputed \
+                                 {fresh:?}",
+                                model_name(model)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            break; // report the first diverging epoch; later ones only cascade
+        }
     }
     out
 }

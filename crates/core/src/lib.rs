@@ -18,7 +18,11 @@
 //!   witnessing why the route is guaranteed,
 //! * [`BoundaryMap`] — faulty-block boundary information (lines L1–L4),
 //! * [`route`] — Wu's protocol (the boundary-information router), the
-//!   two-phase plan executor, and a global-information oracle router.
+//!   two-phase plan executor, and a global-information oracle router,
+//! * [`ScenarioState`] / [`DecisionCache`] — the epoched dynamic-fault
+//!   layer: faults arrive one at a time, every derived map is repaired
+//!   incrementally, and per-pair decisions survive epochs that provably
+//!   cannot affect them.
 //!
 //! # Quickstart
 //!
@@ -53,9 +57,11 @@ pub mod conditions;
 pub mod route;
 mod safety;
 mod scenario;
+mod state;
 
 pub use boundary::BoundaryMap;
 pub use conditions::{Ensured, RoutePlan};
 pub use route::RouteError;
 pub use safety::{SafetyLevel, SafetyMap};
 pub use scenario::{Model, ModelView, Scenario};
+pub use state::{decide_local, DecisionCache, Epoch, EpochDelta, ScenarioState};

@@ -75,6 +75,73 @@ impl Scenario {
         self.mcc_safety[mcc_index(ty)].get_or_init(|| SafetyMap::for_mcc(self.mcc(ty)))
     }
 
+    /// The safety map under the faulty-block model (built on first use).
+    pub fn block_safety_map(&self) -> &SafetyMap {
+        self.block_safety()
+    }
+
+    /// The safety map under one MCC labeling (built on first use).
+    pub fn mcc_safety_map(&self, ty: MccType) -> &SafetyMap {
+        self.mcc_safety(ty)
+    }
+
+    /// Forces every lazy map (both MCC labelings and all three safety
+    /// maps) so that later [`Scenario::apply_fault`] calls repair them
+    /// incrementally instead of deferring full rebuilds to first use.
+    pub(crate) fn warm(&self) {
+        self.block_safety();
+        for ty in MccType::ALL {
+            self.mcc_safety(ty);
+        }
+    }
+
+    /// Incrementally records a newly failed node across every *already
+    /// built* map: the block decomposition (always), the MCC labelings,
+    /// and the safety maps (lane resweep clipped to the changed rects).
+    /// Maps that are still lazy stay lazy — they will build from the
+    /// updated fault set on first use.
+    ///
+    /// Returns `None` when `c` was already faulty (no state changes),
+    /// otherwise the per-model disturbance footprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub(crate) fn apply_fault(&mut self, c: Coord) -> Option<FaultDelta> {
+        if !self.faults.insert(c) {
+            return None;
+        }
+        let Scenario {
+            blocks,
+            mcc,
+            block_safety,
+            mcc_safety,
+            ..
+        } = self;
+        let block_rect = blocks.insert_fault(c);
+        if let Some(map) = block_safety.get_mut() {
+            map.resweep_rect(|v| blocks.is_blocked(v), block_rect);
+        }
+        let mut mcc_rects = [None, None];
+        for (i, lock) in mcc.iter_mut().enumerate() {
+            if let Some(m) = lock.get_mut() {
+                mcc_rects[i] = m.insert_fault(c);
+            }
+        }
+        for (i, lock) in mcc_safety.iter_mut().enumerate() {
+            if let (Some(map), Some(rect)) = (lock.get_mut(), mcc_rects[i]) {
+                let m = mcc[i]
+                    .get()
+                    .expect("MCC map initialized before its safety map");
+                map.resweep_rect(|v| m.is_blocked(v), rect);
+            }
+        }
+        Some(FaultDelta {
+            block: block_rect,
+            mcc: mcc_rects,
+        })
+    }
+
     /// The mesh this scenario lives in.
     pub fn mesh(&self) -> Mesh {
         self.faults.mesh()
@@ -138,7 +205,7 @@ impl Scenario {
         BoundaryMap::compute(&mesh, &self.blocks.rects(), &blocked)
     }
 
-    fn mcc_boundary_map(&self, ty: MccType) -> BoundaryMap {
+    pub(crate) fn mcc_boundary_map(&self, ty: MccType) -> BoundaryMap {
         let mesh = self.mesh();
         let mcc = self.mcc(ty);
         let blocked = Grid::from_fn(mesh, |c| mcc.is_blocked(c));
@@ -151,6 +218,18 @@ fn mcc_index(ty: MccType) -> usize {
         MccType::One => 0,
         MccType::Two => 1,
     }
+}
+
+/// The per-model disturbance footprint of one [`Scenario::apply_fault`]:
+/// each rect bounds every node whose *membership* (blocked vs usable)
+/// changed under that model. `None` means no membership change (for MCC,
+/// also when that labeling was never built).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FaultDelta {
+    /// The merged faulty-block rectangle containing the new fault.
+    pub block: Rect,
+    /// Membership-change bounds per MCC labeling (`[One, Two]` order).
+    pub mcc: [Option<Rect>; 2],
 }
 
 /// A scenario seen through one fault model: answers "is this node an

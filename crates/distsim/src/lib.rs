@@ -10,8 +10,11 @@
 //!   coordinates (the L1–L4 lines of §2, which bend around and join other
 //!   blocks),
 //! * nodes in each block-free region of an affected row/column exchange
-//!   safety levels end-to-end (extension 2), and
-//! * pivot nodes broadcast their safety levels mesh-wide (extension 3).
+//!   safety levels end-to-end (extension 2),
+//! * pivot nodes broadcast their safety levels mesh-wide (extension 3), and
+//! * when a node fails *after* convergence, the affected neighborhood
+//!   repairs its safety levels in place (RE-FORMATION, [`ReFormation`])
+//!   instead of re-running formation mesh-wide.
 //!
 //! This crate provides the substrate — a deterministic synchronous-round
 //! [`engine`] with per-node mailboxes and message/round accounting — plus
@@ -27,3 +30,4 @@ pub mod engine;
 pub mod protocols;
 
 pub use engine::{Engine, Protocol, RunStats};
+pub use protocols::reformation::{ReFormation, RepairStats};

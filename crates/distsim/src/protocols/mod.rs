@@ -12,7 +12,10 @@
 //! * [`broadcast`] — extension 3's mesh-wide flooding of pivot safety
 //!   levels,
 //! * [`labeling`] — the Definition 1 / Definition 2 node labelings
-//!   themselves, run as neighbor-announcement fix-points.
+//!   themselves, run as neighbor-announcement fix-points,
+//! * [`reformation`] — RE-FORMATION: incremental repair of converged
+//!   safety levels after a node failure, with message scope bounded to
+//!   the lanes crossing the merged block.
 //!
 //! All protocols take the already-formed obstacle map as input (the paper
 //! distributes information *"once faulty blocks are constructed"*) and
@@ -23,6 +26,7 @@ pub mod broadcast;
 pub mod esl;
 pub mod exchange;
 pub mod labeling;
+pub mod reformation;
 
 use emr_mesh::Dist;
 

@@ -1,0 +1,276 @@
+//! RE-FORMATION: incremental repair of safety-level information after a
+//! node failure (paper §1's "when a disturbance occurs, only those
+//! affected nodes update their information").
+//!
+//! [`ReFormation`] keeps a converged safety-level state alive across node
+//! failures. When a node fails, the block decomposition is repaired
+//! incrementally ([`emr_fault::BlockMap::insert_fault`]), the nodes
+//! swallowed by the merged block stop participating, and the neighbors of
+//! the grown block receive distance announcements from its border — the
+//! same messages a freshly formed block would inject. Resuming the
+//! [`EslFormation`] protocol from the old state with only those
+//! disturbances reaches exactly the fix-point a from-scratch rerun would
+//! (safety distances are monotone under fault insertion: a new obstacle
+//! only moves the nearest block closer), but the message traffic stays
+//! confined to the row and column bands crossing the merged block.
+
+use emr_mesh::{Coord, Grid, Mesh, Rect};
+
+use emr_fault::{BlockMap, FaultSet};
+
+use crate::engine::Engine;
+use crate::protocols::esl::{disturbance_for_block, EslFormation};
+use crate::protocols::{EslTuple, ESL_DEFAULT};
+
+/// Accounting for one [`ReFormation::fail_node`] repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Synchronous rounds until the repair quiesced.
+    pub rounds: u32,
+    /// Messages exchanged during the repair.
+    pub messages: u64,
+    /// Enabled nodes whose safety tuple actually changed.
+    pub updated: usize,
+    /// Nodes newly swallowed by the merged block (failed + deactivated).
+    pub newly_blocked: usize,
+    /// The merged faulty-block rectangle containing the failure.
+    pub block: Rect,
+}
+
+/// A long-lived safety-level state that absorbs node failures through
+/// bounded-scope repair instead of global re-formation.
+///
+/// # Examples
+///
+/// ```
+/// use emr_distsim::protocols::reformation::ReFormation;
+/// use emr_fault::FaultSet;
+/// use emr_mesh::{Coord, Mesh};
+///
+/// let mut rf = ReFormation::new(&FaultSet::new(Mesh::square(8)));
+/// let stats = rf.fail_node(Coord::new(3, 3)).expect("new failure");
+/// assert_eq!(stats.newly_blocked, 1);
+/// // Neighbors of the failed node now see it at distance 1.
+/// assert_eq!(rf.levels()[Coord::new(2, 3)][emr_mesh::Direction::East.index()], 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReFormation {
+    mesh: Mesh,
+    engine: Engine,
+    blocks: BlockMap,
+    blocked: Grid<bool>,
+    states: Grid<EslTuple>,
+}
+
+impl ReFormation {
+    /// Forms the initial state: builds the block decomposition for
+    /// `faults` and runs the FORMATION protocol to quiescence.
+    pub fn new(faults: &FaultSet) -> ReFormation {
+        let mesh = faults.mesh();
+        let blocks = BlockMap::build(faults);
+        let blocked = Grid::from_fn(mesh, |c| blocks.is_blocked(c));
+        let engine = Engine::new(mesh);
+        let (states, _) = engine.run(&EslFormation::new(blocked.clone()));
+        ReFormation {
+            mesh,
+            engine,
+            blocks,
+            blocked,
+            states,
+        }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The current block decomposition.
+    pub fn blocks(&self) -> &BlockMap {
+        &self.blocks
+    }
+
+    /// The current converged safety tuples (block nodes carry the
+    /// all-unbounded default).
+    pub fn levels(&self) -> &Grid<EslTuple> {
+        &self.states
+    }
+
+    /// Fails node `c` and repairs the safety-level information with
+    /// bounded message scope. Returns `None` when `c` had already failed
+    /// (no state changes).
+    ///
+    /// The repair: (1) the block decomposition absorbs the failure
+    /// incrementally; (2) nodes swallowed by the merged block drop out
+    /// (their tuples reset to the non-participant default); (3) the
+    /// merged block's border announces distance 0 to its enabled
+    /// neighbors and the protocol resumes from the old state. Only nodes
+    /// whose row or column crosses the merged block can update —
+    /// equivalence with a full re-formation is tested below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn fail_node(&mut self, c: Coord) -> Option<RepairStats> {
+        if self.blocks.state(c) == emr_fault::NodeState::Faulty {
+            return None;
+        }
+        let was_blocked = self.blocked[c];
+        let rect = self.blocks.insert_fault(c);
+        if was_blocked {
+            // A healthy-but-deactivated node failed for real: the
+            // decomposition bookkeeping changes (faulty vs disabled
+            // counts), but block membership — and hence every safety
+            // distance — is untouched. No messages needed.
+            return Some(RepairStats {
+                rounds: 0,
+                messages: 0,
+                updated: 0,
+                newly_blocked: 0,
+                block: rect,
+            });
+        }
+        let mut newly_blocked = 0;
+        for u in rect.iter() {
+            if !self.blocked[u] {
+                self.blocked[u] = true;
+                self.states[u] = ESL_DEFAULT;
+                newly_blocked += 1;
+            }
+        }
+        let disturbances = disturbance_for_block(&self.mesh, &self.blocked, rect);
+        let before = self.states.clone();
+        let proto = EslFormation::new(self.blocked.clone());
+        let old_states = std::mem::replace(&mut self.states, Grid::new(self.mesh, ESL_DEFAULT));
+        let (states, stats) = self.engine.resume(&proto, old_states, disturbances);
+        self.states = states;
+        let updated = self
+            .mesh
+            .nodes()
+            .filter(|&u| !self.blocked[u] && self.states[u] != before[u])
+            .count();
+        Some(RepairStats {
+            rounds: stats.rounds,
+            messages: stats.messages,
+            updated,
+            newly_blocked,
+            block: rect,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emr_mesh::Direction;
+
+    fn fault_set(mesh: Mesh, coords: &[(i32, i32)]) -> FaultSet {
+        FaultSet::from_coords(mesh, coords.iter().map(|&c| Coord::from(c)))
+    }
+
+    /// Incremental repair must land on the state of a from-scratch run
+    /// over the final fault set.
+    fn assert_matches_full_rerun(rf: &ReFormation, ctx: &str) {
+        let (full, _) = Engine::new(rf.mesh()).run(&EslFormation::new(rf.blocked.clone()));
+        for c in rf.mesh().nodes() {
+            if !rf.blocked[c] {
+                assert_eq!(rf.levels()[c], full[c], "{ctx} at {c}");
+            } else {
+                assert_eq!(rf.levels()[c], ESL_DEFAULT, "{ctx}: blocked {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_full_reformation() {
+        let mesh = Mesh::square(12);
+        let mut rf = ReFormation::new(&fault_set(mesh, &[(3, 3), (9, 9)]));
+        for &(x, y) in &[(4, 4), (9, 8), (0, 6), (4, 3)] {
+            let c = Coord::new(x, y);
+            rf.fail_node(c).expect("fresh failure");
+            assert_matches_full_rerun(&rf, &format!("after {c}"));
+        }
+    }
+
+    #[test]
+    fn repeated_failure_is_a_no_op() {
+        let mesh = Mesh::square(8);
+        let mut rf = ReFormation::new(&FaultSet::new(mesh));
+        assert!(rf.fail_node(Coord::new(4, 4)).is_some());
+        let before = rf.levels().clone();
+        assert!(rf.fail_node(Coord::new(4, 4)).is_none());
+        for c in mesh.nodes() {
+            assert_eq!(rf.levels()[c], before[c]);
+        }
+    }
+
+    #[test]
+    fn disabled_node_failing_changes_no_levels() {
+        // (1,1)+(2,2) close into a 2×2 block; the disabled corner (1,2)
+        // then fails for real: decomposition bookkeeping changes, safety
+        // distances cannot.
+        let mesh = Mesh::square(7);
+        let mut rf = ReFormation::new(&fault_set(mesh, &[(1, 1), (2, 2)]));
+        let before = rf.levels().clone();
+        let stats = rf.fail_node(Coord::new(1, 2)).expect("real failure");
+        assert_eq!(stats.updated, 0);
+        assert_eq!(stats.newly_blocked, 0);
+        for c in mesh.nodes() {
+            assert_eq!(rf.levels()[c], before[c]);
+        }
+        assert_matches_full_rerun(&rf, "disabled node failed");
+    }
+
+    #[test]
+    fn repair_scope_is_bounded_to_crossing_lanes() {
+        // Updates may only touch nodes whose row or column crosses the
+        // merged block — the paper's bounded-disturbance claim.
+        let mesh = Mesh::square(16);
+        let mut rf = ReFormation::new(&fault_set(mesh, &[(12, 12)]));
+        let before = rf.levels().clone();
+        let stats = rf.fail_node(Coord::new(3, 4)).expect("fresh failure");
+        let r = stats.block;
+        for c in mesh.nodes() {
+            if rf.levels()[c] != before[c] {
+                let crosses_row = c.y >= r.y_min() && c.y <= r.y_max();
+                let crosses_col = c.x >= r.x_min() && c.x <= r.x_max();
+                assert!(
+                    crosses_row || crosses_col,
+                    "update at {c} outside the lanes of {r:?}"
+                );
+            }
+        }
+        assert!(stats.updated > 0);
+    }
+
+    #[test]
+    fn repair_is_cheaper_than_reformation() {
+        // One extra fault in a big mesh: the repair exchanges strictly
+        // fewer messages than re-running formation from scratch.
+        let mesh = Mesh::square(24);
+        let mut rf = ReFormation::new(&fault_set(mesh, &[(4, 4), (18, 7), (9, 20)]));
+        let stats = rf.fail_node(Coord::new(12, 12)).expect("fresh failure");
+        let (_, full) = Engine::new(mesh).run(&EslFormation::new(rf.blocked.clone()));
+        assert!(
+            stats.messages < full.messages,
+            "repair {} ≥ full {}",
+            stats.messages,
+            full.messages
+        );
+        assert_matches_full_rerun(&rf, "big mesh");
+    }
+
+    #[test]
+    fn merge_of_two_blocks_repairs_correctly() {
+        // A bridging failure merges two blocks; the repair must cover the
+        // union rectangle's whole shadow.
+        let mesh = Mesh::square(14);
+        let mut rf = ReFormation::new(&fault_set(mesh, &[(5, 5), (7, 7)]));
+        let stats = rf.fail_node(Coord::new(6, 6)).expect("fresh failure");
+        assert_eq!(stats.block, Rect::new(5, 7, 5, 7));
+        assert!(stats.newly_blocked > 1, "bridge deactivates the pockets");
+        assert_matches_full_rerun(&rf, "merged");
+        // The merged block's west face is now at distance 1 from (4,6).
+        assert_eq!(rf.levels()[Coord::new(4, 6)][Direction::East.index()], 1);
+    }
+}

@@ -179,13 +179,21 @@ impl BlockMap {
     /// worklist plus one BFS over the (possibly merged) block containing
     /// the new fault. Equivalence with a full rebuild is property-tested.
     ///
+    /// Returns the rectangle of the (possibly merged) block containing
+    /// `c` after the update — the disturbance footprint callers use to
+    /// clip downstream recomputation. Every node whose state changed lies
+    /// inside it.
+    ///
     /// # Panics
     ///
     /// Panics if `c` lies outside the mesh.
-    pub fn insert_fault(&mut self, c: Coord) {
+    pub fn insert_fault(&mut self, c: Coord) -> Rect {
         assert!(self.mesh.contains(c), "fault {c} outside mesh");
         if self.state[c] == NodeState::Faulty {
-            return;
+            return self
+                .block_containing(c)
+                .expect("faulty node belongs to a block")
+                .rect();
         }
         self.state[c] = NodeState::Faulty;
 
@@ -232,6 +240,7 @@ impl BlockMap {
             disabled_nodes,
         });
         debug_assert!(self.rect_invariant_holds());
+        rect
     }
 
     /// Checks the paper's structural claim: each connected component of
@@ -435,10 +444,28 @@ mod tests {
     fn incremental_insert_is_idempotent() {
         let mesh = Mesh::square(6);
         let mut map = BlockMap::build(&FaultSet::new(mesh));
-        map.insert_fault(Coord::new(2, 2));
-        map.insert_fault(Coord::new(2, 2));
+        let first = map.insert_fault(Coord::new(2, 2));
+        let again = map.insert_fault(Coord::new(2, 2));
         assert_eq!(map.blocks().len(), 1);
         assert_eq!(map.blocks()[0].faulty_nodes(), 1);
+        assert_eq!(first, Rect::point(Coord::new(2, 2)));
+        assert_eq!(again, first, "re-inserting returns the containing rect");
+    }
+
+    #[test]
+    fn insert_fault_rect_covers_every_changed_node() {
+        let mesh = Mesh::square(12);
+        let sequence = [(3, 3), (4, 4), (5, 3), (3, 5), (8, 8), (7, 7)];
+        let mut map = BlockMap::build(&FaultSet::new(mesh));
+        for &(x, y) in &sequence {
+            let before = map.state.clone();
+            let rect = map.insert_fault(Coord::new(x, y));
+            for n in mesh.nodes() {
+                if map.state(n) != before[n] {
+                    assert!(rect.contains(n), "changed node {n} outside {rect:?}");
+                }
+            }
+        }
     }
 
     #[test]

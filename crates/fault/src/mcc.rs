@@ -114,6 +114,29 @@ pub struct MccMap {
     ty: MccType,
     status: Grid<MccStatus>,
     components: Vec<Mcc>,
+    // The two label planes of Definition 2, kept alongside `status`
+    // because a node can carry *both* labels while `status` only shows
+    // the higher-priority one (faulty > useless > can't-reach). The
+    // incremental fix-point in [`MccMap::insert_fault`] needs the exact
+    // planes to resume from.
+    useless: Grid<bool>,
+    cant_reach: Grid<bool>,
+}
+
+/// Forward neighbors (blocking "useless") and backward neighbors
+/// (blocking "can't-reach") for one labeling type. Type-one quadrant I:
+/// forward = {N, E}; type-two (quadrant II): forward = {N, W}.
+fn type_dirs(ty: MccType) -> ([Direction; 2], [Direction; 2]) {
+    match ty {
+        MccType::One => (
+            [Direction::North, Direction::East],
+            [Direction::South, Direction::West],
+        ),
+        MccType::Two => (
+            [Direction::North, Direction::West],
+            [Direction::South, Direction::East],
+        ),
+    }
 }
 
 impl MccMap {
@@ -135,19 +158,7 @@ impl MccMap {
     /// the three labeling planes and the component-extraction buffers.
     pub fn build_with(faults: &FaultSet, ty: MccType, ws: &mut Workspace) -> MccMap {
         let mesh = faults.mesh();
-        // Forward neighbors (blocking "useless") and backward neighbors
-        // (blocking "can't-reach") for this type. Type-one quadrant I:
-        // forward = {N, E}; type-two (quadrant II): forward = {N, W}.
-        let (fwd, bwd) = match ty {
-            MccType::One => (
-                [Direction::North, Direction::East],
-                [Direction::South, Direction::West],
-            ),
-            MccType::Two => (
-                [Direction::North, Direction::West],
-                [Direction::South, Direction::East],
-            ),
-        };
+        let (fwd, bwd) = type_dirs(ty);
 
         let Workspace {
             mark_a: faulty,
@@ -174,12 +185,16 @@ impl MccMap {
             }
         });
 
+        let useless_plane = ws.mark_b.clone();
+        let cant_reach_plane = ws.mark_c.clone();
         let components = extract_components(mesh, &status, ws);
         MccMap {
             mesh,
             ty,
             status,
             components,
+            useless: useless_plane,
+            cant_reach: cant_reach_plane,
         }
     }
 
@@ -207,7 +222,10 @@ impl MccMap {
         self.status.get(c).is_some_and(|s| s.is_blocked())
     }
 
-    /// The components, in discovery (row-major) order.
+    /// The components, in discovery order: row-major after a full build;
+    /// after [`MccMap::insert_fault`] the touched (possibly merged)
+    /// component is re-appended at the end, so compare component lists
+    /// order-insensitively.
     pub fn components(&self) -> &[Mcc] {
         &self.components
     }
@@ -221,6 +239,127 @@ impl MccMap {
     pub fn disabled_count(&self) -> usize {
         self.components.iter().map(|m| m.disabled_nodes()).sum()
     }
+
+    /// Incrementally records a newly failed node, resuming the Definition 2
+    /// label fix-point from the disturbance instead of rebuilding the grid.
+    ///
+    /// Both label planes are monotone under fault insertion (labels only
+    /// ever appear), so a clipped worklist seeded at the new fault reaches
+    /// exactly the fix-point a full [`MccMap::build`] computes — the
+    /// equivalence is property-tested here and in `emr-conform`.
+    ///
+    /// Returns the bounding rectangle of every node whose *membership*
+    /// changed (fault-free ↔ blocked), or `None` when nothing entered an
+    /// MCC that was not already in one (including re-inserting a faulty
+    /// node). Status refinements between blocked kinds (e.g. useless →
+    /// faulty) do not count: they are invisible to `is_blocked` and to the
+    /// safety maps derived from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn insert_fault(&mut self, c: Coord) -> Option<Rect> {
+        assert!(self.mesh.contains(c), "fault {c} outside mesh");
+        if self.status[c] == MccStatus::Faulty {
+            return None;
+        }
+        let MccMap {
+            mesh,
+            ty,
+            status,
+            components,
+            useless,
+            cant_reach,
+        } = self;
+        let mesh = *mesh;
+        let was_blocked = status[c].is_blocked();
+        status[c] = MccStatus::Faulty;
+        useless[c] = false;
+        cant_reach[c] = false;
+        let mut changed: Option<Rect> = (!was_blocked).then(|| Rect::point(c));
+        let grow = |changed: &mut Option<Rect>, u: Coord| {
+            *changed = Some(match changed.take() {
+                Some(r) => r.expanded_to(u),
+                None => Rect::point(u),
+            });
+        };
+
+        let (fwd, bwd) = type_dirs(*ty);
+        for u in relabel_from(mesh, status, useless, fwd, c) {
+            if !status[u].is_blocked() {
+                grow(&mut changed, u);
+            }
+            // Useless outranks can't-reach in the status projection.
+            status[u] = MccStatus::Useless;
+        }
+        for u in relabel_from(mesh, status, cant_reach, bwd, c) {
+            if !status[u].is_blocked() {
+                grow(&mut changed, u);
+                status[u] = MccStatus::CantReach;
+            }
+        }
+
+        // Re-extract the single component containing the fault: every
+        // newly labeled node is adjacent to a previously changed blocked
+        // node, so all changes merge into this one component.
+        let mut rect = Rect::point(c);
+        let mut nodes = Vec::new();
+        let mut faulty_nodes = 0;
+        let mut disabled_nodes = 0;
+        let mut visited = std::collections::HashSet::from([c]);
+        let mut queue = std::collections::VecDeque::from([c]);
+        while let Some(u) = queue.pop_front() {
+            rect = rect.expanded_to(u);
+            nodes.push(u);
+            match status[u] {
+                MccStatus::Faulty => faulty_nodes += 1,
+                MccStatus::Useless | MccStatus::CantReach => disabled_nodes += 1,
+                MccStatus::FaultFree => unreachable!("fault-free node in MCC"),
+            }
+            for v in mesh.neighbors(u) {
+                if status[v].is_blocked() && visited.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        components.retain(|m| !visited.contains(&m.nodes[0]));
+        components.push(Mcc {
+            rect,
+            nodes,
+            faulty_nodes,
+            disabled_nodes,
+        });
+        changed
+    }
+}
+
+/// Resumes one label plane's fix-point after `seed` turned faulty. A node
+/// gains the label when both `dirs` neighbors are faulty-or-labeled; each
+/// gain re-enqueues the nodes that see the gainer as a `dirs` neighbor.
+/// Returns the nodes that gained the label, in discovery order.
+fn relabel_from(
+    mesh: Mesh,
+    status: &Grid<MccStatus>,
+    label: &mut Grid<bool>,
+    dirs: [Direction; 2],
+    seed: Coord,
+) -> Vec<Coord> {
+    let mut gained = Vec::new();
+    let mut queue: std::collections::VecDeque<Coord> =
+        dirs.iter().map(|&d| seed.step(d.opposite())).collect();
+    while let Some(u) = queue.pop_front() {
+        if !mesh.contains(u) || status[u] == MccStatus::Faulty || label[u] {
+            continue;
+        }
+        let blocked = |v: Coord| mesh.contains(v) && (status[v] == MccStatus::Faulty || label[v]);
+        if blocked(u.step(dirs[0])) && blocked(u.step(dirs[1])) {
+            label[u] = true;
+            gained.push(u);
+            queue.push_back(u.step(dirs[0].opposite()));
+            queue.push_back(u.step(dirs[1].opposite()));
+        }
+    }
+    gained
 }
 
 /// One monotone sweep computes a label whose rule is "fault-free node with
@@ -415,6 +554,122 @@ mod tests {
         assert_eq!(MccType::for_route(s, Coord::new(2, 2)), MccType::One);
         assert_eq!(MccType::for_route(s, Coord::new(2, 8)), MccType::Two);
         assert_eq!(MccType::for_route(s, Coord::new(8, 2)), MccType::Two);
+    }
+
+    /// Order-insensitive equivalence of two maps, down to the private
+    /// label planes (a node can be useless *and* can't-reach while
+    /// `status` only shows one; the planes must still match exactly).
+    fn assert_equivalent(incremental: &MccMap, rebuilt: &MccMap, ctx: &str) {
+        for n in incremental.mesh().nodes() {
+            assert_eq!(incremental.status(n), rebuilt.status(n), "{ctx} at {n}");
+            assert_eq!(incremental.useless[n], rebuilt.useless[n], "{ctx} at {n}");
+            assert_eq!(
+                incremental.cant_reach[n], rebuilt.cant_reach[n],
+                "{ctx} at {n}"
+            );
+        }
+        let sorted = |m: &MccMap| {
+            let mut comps: Vec<(Rect, usize, usize, Vec<Coord>)> = m
+                .components()
+                .iter()
+                .map(|c| {
+                    let mut nodes = c.nodes().to_vec();
+                    nodes.sort_by_key(|n| (n.y, n.x));
+                    (c.rect(), c.faulty_nodes(), c.disabled_nodes(), nodes)
+                })
+                .collect();
+            comps.sort_by_key(|(r, ..)| (r.x_min(), r.y_min()));
+            comps
+        };
+        assert_eq!(sorted(incremental), sorted(rebuilt), "{ctx}");
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mesh = Mesh::square(12);
+        // Grows, merges, and converts already-disabled nodes, like the
+        // block-map twin of this test.
+        let sequence = [
+            (3, 3),
+            (4, 4),
+            (8, 8),
+            (8, 7),
+            (5, 5),
+            (6, 6),
+            (7, 7),
+            (4, 3),
+            (0, 0),
+        ];
+        for ty in MccType::ALL {
+            let mut incremental = MccMap::build(&FaultSet::new(mesh), ty);
+            let mut all = Vec::new();
+            for &(x, y) in &sequence {
+                let c = Coord::new(x, y);
+                all.push(c);
+                let before = incremental.status.clone();
+                let changed = incremental.insert_fault(c);
+                let rebuilt = MccMap::build(&FaultSet::from_coords(mesh, all.iter().copied()), ty);
+                assert_equivalent(&incremental, &rebuilt, &format!("{ty:?} after {c}"));
+                // The returned rect covers every membership change.
+                for n in mesh.nodes() {
+                    if incremental.status(n).is_blocked() != before[n].is_blocked() {
+                        let r = changed.expect("membership changed but no rect");
+                        assert!(r.contains(n), "{ty:?}: changed node {n} outside {r:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_is_idempotent() {
+        let mesh = Mesh::square(6);
+        let mut map = MccMap::build(&FaultSet::new(mesh), MccType::One);
+        assert!(map.insert_fault(Coord::new(2, 2)).is_some());
+        assert_eq!(map.insert_fault(Coord::new(2, 2)), None);
+        assert_eq!(map.components().len(), 1);
+        assert_eq!(map.components()[0].faulty_nodes(), 1);
+    }
+
+    #[test]
+    fn insert_into_own_label_pocket_reports_no_membership_change() {
+        // (2,2) is useless under type-one once (2,3)/(3,2) fail; failing
+        // it afterwards refines the status but changes no membership.
+        let mesh = Mesh::square(5);
+        let mut map = MccMap::build(&faults(mesh, &[(2, 3), (3, 2)]), MccType::One);
+        assert_eq!(map.status(Coord::new(2, 2)), MccStatus::Useless);
+        assert_eq!(map.insert_fault(Coord::new(2, 2)), None);
+        assert_eq!(map.status(Coord::new(2, 2)), MccStatus::Faulty);
+        let rebuilt = MccMap::build(&faults(mesh, &[(2, 3), (3, 2), (2, 2)]), MccType::One);
+        assert_equivalent(&map, &rebuilt, "pocket fill");
+    }
+
+    #[test]
+    fn random_incremental_sequences_match_rebuild() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (w, h) in [(16, 16), (1, 9), (9, 1), (2, 13)] {
+            let mesh = Mesh::new(w, h);
+            for seed in 0..12u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for ty in MccType::ALL {
+                    let mut incremental = MccMap::build(&FaultSet::new(mesh), ty);
+                    let mut all = Vec::new();
+                    for _ in 0..((w * h / 4).clamp(2, 25)) {
+                        let c = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+                        all.push(c);
+                        incremental.insert_fault(c);
+                    }
+                    let rebuilt =
+                        MccMap::build(&FaultSet::from_coords(mesh, all.iter().copied()), ty);
+                    assert_equivalent(
+                        &incremental,
+                        &rebuilt,
+                        &format!("{w}x{h} seed {seed} {ty:?}"),
+                    );
+                }
+            }
+        }
     }
 
     #[test]

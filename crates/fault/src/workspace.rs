@@ -26,10 +26,17 @@ pub type LevelTuple = [Dist; 4];
 /// sweeps, and the reachability dynamic program.
 ///
 /// Every buffer is reset (not trusted) by the code that uses it, so a
-/// workspace carries no state between calls — only capacity. The fields
-/// are public because the consumers span several crates (`emr-fault`
-/// itself, `emr-core`'s safety sweeps); callers other than the `*_with`
-/// implementations normally never touch them.
+/// workspace carries no state between calls — only capacity. In
+/// particular a workspace is **not tied to any mesh size**: each grid
+/// buffer is retargeted via [`Grid::reset`] on entry, which resizes on
+/// demand, so one workspace may serve meshes of differing (growing or
+/// shrinking) dimensions back to back. `workspace_survives_mesh_changes`
+/// is the regression test for that guarantee; new `*_with` entry points
+/// must reset every buffer they use before reading it.
+///
+/// The fields are public because the consumers span several crates
+/// (`emr-fault` itself, `emr-core`'s safety sweeps); callers other than
+/// the `*_with` implementations normally never touch them.
 #[derive(Debug)]
 pub struct Workspace {
     /// BFS / worklist queue for fix-points and component extraction.
@@ -104,5 +111,43 @@ mod tests {
             assert_eq!(ws.queue.len(), 1);
             ws.queue.clear();
         });
+    }
+
+    #[test]
+    fn workspace_survives_mesh_changes() {
+        use crate::reach::{minimal_path_exists, minimal_path_exists_with};
+        use crate::{BlockMap, FaultSet, MccMap, MccType};
+
+        // One workspace, driven through every *_with entry point across
+        // growing, shrinking, and degenerate meshes. Each result must
+        // equal a fresh build — stale capacity or dimensions from the
+        // previous mesh must never leak through.
+        let mut ws = Workspace::new();
+        let shapes = [(4, 4), (9, 9), (1, 7), (6, 2), (13, 5)];
+        for &(w, h) in &shapes {
+            let mesh = Mesh::new(w, h);
+            let faults = FaultSet::from_coords(
+                mesh,
+                [
+                    Coord::new(0, 0),
+                    Coord::new((w - 1) / 2, (h - 1) / 2),
+                    Coord::new(w - 1, h - 1),
+                ],
+            );
+            let blocks = BlockMap::build_with(&faults, &mut ws);
+            assert_eq!(blocks, BlockMap::build(&faults), "{w}x{h} blocks");
+            for ty in MccType::ALL {
+                let mcc = MccMap::build_with(&faults, ty, &mut ws);
+                assert_eq!(mcc, MccMap::build(&faults, ty), "{w}x{h} {ty:?}");
+            }
+            let s = Coord::new(0, h - 1);
+            let d = Coord::new(w - 1, 0);
+            let blocked = |c: Coord| faults.is_faulty(c);
+            assert_eq!(
+                minimal_path_exists_with(&mesh, s, d, blocked, &mut ws),
+                minimal_path_exists(&mesh, s, d, blocked),
+                "{w}x{h} reach"
+            );
+        }
     }
 }

@@ -14,7 +14,13 @@
 //!   and [`OracleRouter`] (global information),
 //! * [`Workload`] — generated traffic: each packet carries the waypoint
 //!   legs of its two-phase [`emr_core::RoutePlan`] witness,
-//! * [`NetSim`] — the cycle-driven simulator with delivery statistics.
+//! * [`NetSim`] — the cycle-driven simulator with delivery statistics,
+//! * [`DynamicRouter`] / [`EpochedWuRouter`] — mid-flight fault
+//!   injection: scheduled node failures land while traffic is in flight,
+//!   the router absorbs them through the incremental epoch machinery of
+//!   [`emr_core::ScenarioState`], and surviving packets re-evaluate their
+//!   next hop (delivered / rerouted / dropped accounting in
+//!   [`SimReport`]).
 //!
 //! # Examples
 //!
@@ -42,11 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dynamic;
 mod packet;
 mod router;
 mod sim;
 pub mod workload;
 
+pub use dynamic::{DynamicRouter, EpochedWuRouter};
 pub use packet::{Packet, PacketId};
 pub use router::{DimensionOrderRouter, OracleRouter, Router, WuRouter};
 pub use sim::{NetSim, SimError, SimReport};

@@ -2,8 +2,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use emr_core::route::RouteError;
-use emr_mesh::{Coord, Grid, Mesh};
+use emr_mesh::{Coord, Direction, Grid, Mesh};
 
+use crate::dynamic::DynamicRouter;
 use crate::packet::{Packet, PacketId};
 use crate::router::Router;
 
@@ -50,6 +51,13 @@ pub struct SimReport {
     pub peak_queue: usize,
     /// Cycles simulated.
     pub cycles: u64,
+    /// Node failures applied mid-run (accepted by the router).
+    pub fault_events: u64,
+    /// Packets lost to a failure: caught on a node swallowed by a fault,
+    /// or scheduled from a source that failed first. Included in `failed`.
+    pub fault_drops: u64,
+    /// In-flight packets whose next hop changed when a failure landed.
+    pub rerouted: u64,
 }
 
 impl SimReport {
@@ -109,6 +117,8 @@ pub struct NetSim<R: Router> {
     flights: BTreeMap<PacketId, Flight>,
     /// Packets scheduled for future injection: (cycle, id, packet).
     pending: VecDeque<(u64, PacketId, Packet)>,
+    /// Node failures scheduled for future cycles: (cycle, node).
+    pending_faults: VecDeque<(u64, Coord)>,
     next_id: PacketId,
     cycle: u64,
     report: SimReport,
@@ -123,6 +133,7 @@ impl<R: Router> NetSim<R> {
             resident: Grid::new(mesh, Vec::new()),
             flights: BTreeMap::new(),
             pending: VecDeque::new(),
+            pending_faults: VecDeque::new(),
             next_id: 0,
             cycle: 0,
             report: SimReport::default(),
@@ -304,6 +315,124 @@ impl<R: Router> NetSim<R> {
     }
 }
 
+impl<R: DynamicRouter> NetSim<R> {
+    /// Schedules node `c` to fail at `cycle` (clamped to now). Failures
+    /// take effect at the *start* of their cycle, before injection and
+    /// routing — see [`NetSim::step_dynamic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` lies outside the mesh.
+    pub fn schedule_fault(&mut self, c: Coord, cycle: u64) {
+        assert!(self.mesh.contains(c), "fault {c} outside mesh");
+        let at = cycle.max(self.cycle);
+        let pos = self
+            .pending_faults
+            .iter()
+            .position(|&(w, _)| w > at)
+            .unwrap_or(self.pending_faults.len());
+        self.pending_faults.insert(pos, (at, c));
+    }
+
+    /// Applies every failure due this cycle: the router absorbs the
+    /// faults, packets caught on swallowed nodes are dropped (counted in
+    /// both `failed` and `fault_drops`), not-yet-injected packets whose
+    /// source was swallowed likewise, and every surviving in-flight packet
+    /// re-evaluates its next hop against the repaired information
+    /// (`rerouted` counts the ones whose hop actually changed).
+    fn apply_due_faults(&mut self) {
+        if !matches!(self.pending_faults.front(), Some(&(w, _)) if w <= self.cycle) {
+            return;
+        }
+        // Snapshot each flight's pre-fault hop choice.
+        let mut before: BTreeMap<PacketId, Direction> = BTreeMap::new();
+        for (&id, flight) in &self.flights {
+            let target = flight
+                .packet
+                .current_target()
+                .expect("in-flight packets have a target");
+            if let Ok(dir) = self.router.next_hop(flight.leg_source, target, flight.at) {
+                before.insert(id, dir);
+            }
+        }
+        while let Some(&(when, c)) = self.pending_faults.front() {
+            if when > self.cycle {
+                break;
+            }
+            self.pending_faults.pop_front();
+            self.router.fail_node(c);
+            self.report.fault_events += 1;
+        }
+        // Packets caught on nodes the fault swallowed are lost.
+        let dead: Vec<PacketId> = self
+            .flights
+            .iter()
+            .filter(|(_, f)| self.router.is_node_blocked(f.at))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            self.remove_flight(id);
+            self.report.failed += 1;
+            self.report.fault_drops += 1;
+        }
+        let (router, report) = (&self.router, &mut self.report);
+        self.pending.retain(|(_, _, p)| {
+            if router.is_node_blocked(p.source()) {
+                report.failed += 1;
+                report.fault_drops += 1;
+                false
+            } else {
+                true
+            }
+        });
+        // Survivors re-evaluate against the repaired information.
+        for (&id, flight) in &self.flights {
+            let Some(&old) = before.get(&id) else {
+                continue;
+            };
+            let target = flight
+                .packet
+                .current_target()
+                .expect("in-flight packets have a target");
+            if let Ok(new) = self.router.next_hop(flight.leg_source, target, flight.at) {
+                if new != old {
+                    self.report.rerouted += 1;
+                }
+            }
+        }
+    }
+
+    /// One cycle with dynamic faults: failures due this cycle land first,
+    /// then the ordinary [`NetSim::step`] runs (injection, routing,
+    /// arbitration, movement).
+    pub fn step_dynamic(&mut self) {
+        self.apply_due_faults();
+        self.step();
+    }
+
+    /// Runs until all traffic *and* all scheduled failures are resolved,
+    /// or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleBudgetExceeded`] if traffic remains after
+    /// `max_cycles`.
+    pub fn run_dynamic_to_completion(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        while !self.flights.is_empty()
+            || !self.pending.is_empty()
+            || !self.pending_faults.is_empty()
+        {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleBudgetExceeded {
+                    in_flight: self.flights.len() + self.pending.len(),
+                });
+            }
+            self.step_dynamic();
+        }
+        Ok(self.report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +544,142 @@ mod tests {
         let report = sim.run_to_completion(10).unwrap();
         assert_eq!(report.delivered, 1);
         assert_eq!(report.total_hops, 0);
+    }
+
+    use crate::dynamic::EpochedWuRouter;
+    use emr_core::ScenarioState;
+    use emr_fault::FaultSet as FS;
+
+    /// Deterministic adaptive-XY dynamic router for fault-timing tests:
+    /// prefers the X hop, falls back to the Y hop when X is blocked.
+    struct AdaptiveXy {
+        mesh: Mesh,
+        blocked: Grid<bool>,
+    }
+
+    impl AdaptiveXy {
+        fn new(mesh: Mesh) -> AdaptiveXy {
+            AdaptiveXy {
+                mesh,
+                blocked: Grid::new(mesh, false),
+            }
+        }
+
+        fn open(&self, c: Coord) -> bool {
+            self.mesh.contains(c) && !self.blocked[c]
+        }
+    }
+
+    impl Router for AdaptiveXy {
+        fn next_hop(
+            &self,
+            _leg_source: Coord,
+            t: Coord,
+            u: Coord,
+        ) -> Result<Direction, RouteError> {
+            let mut dirs = Vec::new();
+            if t.x > u.x {
+                dirs.push(Direction::East);
+            } else if t.x < u.x {
+                dirs.push(Direction::West);
+            }
+            if t.y > u.y {
+                dirs.push(Direction::North);
+            } else if t.y < u.y {
+                dirs.push(Direction::South);
+            }
+            dirs.into_iter()
+                .find(|&d| self.open(u.step(d)))
+                .ok_or(RouteError::Stuck(u))
+        }
+    }
+
+    impl DynamicRouter for AdaptiveXy {
+        fn fail_node(&mut self, c: Coord) {
+            self.blocked[c] = true;
+        }
+
+        fn is_node_blocked(&self, c: Coord) -> bool {
+            self.blocked[c]
+        }
+    }
+
+    #[test]
+    fn fault_drops_packet_on_its_node() {
+        // The packet sits at (3,5) at the start of cycle 3 — exactly when
+        // that node fails.
+        let mesh = Mesh::square(10);
+        let mut sim = NetSim::new(mesh, AdaptiveXy::new(mesh));
+        sim.inject(Packet::direct(Coord::new(0, 5), Coord::new(9, 5)), 0);
+        sim.schedule_fault(Coord::new(3, 5), 3);
+        let report = sim.run_dynamic_to_completion(100).unwrap();
+        assert_eq!(report.fault_events, 1);
+        assert_eq!(report.fault_drops, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn fault_ahead_reroutes_midflight() {
+        // At the start of cycle 2 the packet is at (2,0) about to go East;
+        // (3,0) fails that instant, so it diverts North and still delivers
+        // minimally.
+        let mesh = Mesh::square(10);
+        let mut sim = NetSim::new(mesh, AdaptiveXy::new(mesh));
+        sim.inject(Packet::direct(Coord::new(0, 0), Coord::new(9, 3)), 0);
+        sim.schedule_fault(Coord::new(3, 0), 2);
+        let report = sim.run_dynamic_to_completion(100).unwrap();
+        assert_eq!(report.fault_events, 1);
+        assert_eq!(report.rerouted, 1);
+        assert_eq!(report.fault_drops, 0);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.hop_stretch(), 1.0);
+    }
+
+    #[test]
+    fn scheduled_packet_from_failed_source_is_dropped() {
+        let mesh = Mesh::square(10);
+        let mut sim = NetSim::new(mesh, AdaptiveXy::new(mesh));
+        sim.schedule_fault(Coord::new(4, 4), 1);
+        sim.inject(Packet::direct(Coord::new(4, 4), Coord::new(8, 4)), 5);
+        let report = sim.run_dynamic_to_completion(100).unwrap();
+        assert_eq!(report.fault_drops, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn static_run_is_unchanged_by_dynamic_fields() {
+        // A dynamic-capable sim with no scheduled faults must report
+        // exactly what the static path reports.
+        let mesh = Mesh::square(10);
+        let mut sim = NetSim::new(mesh, AdaptiveXy::new(mesh));
+        sim.inject(Packet::direct(Coord::new(1, 1), Coord::new(6, 4)), 0);
+        let report = sim.run_dynamic_to_completion(100).unwrap();
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.total_hops, 8);
+        assert_eq!(report.fault_events, 0);
+        assert_eq!(report.rerouted, 0);
+    }
+
+    #[test]
+    fn epoched_wu_router_absorbs_midflight_fault() {
+        // A node on the packet's band fails mid-flight; the router repairs
+        // its epoch state and the packet still delivers.
+        let mesh = Mesh::square(12);
+        let router = EpochedWuRouter::new(ScenarioState::new(FS::new(mesh)), Model::FaultBlock);
+        let mut sim = NetSim::new(mesh, router);
+        let (s, d) = (Coord::new(1, 4), Coord::new(9, 8));
+        sim.inject(Packet::direct(s, d), 0);
+        sim.schedule_fault(Coord::new(5, 4), 2);
+        sim.schedule_fault(Coord::new(5, 5), 2);
+        let report = sim.run_dynamic_to_completion(200).unwrap();
+        assert_eq!(report.fault_events, 2);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.delivered, 1);
+        assert!(
+            report.total_hops >= u64::from(s.manhattan(d)),
+            "hops below the Manhattan bound"
+        );
     }
 }

@@ -18,6 +18,10 @@
 //! * [`mesh3`] — the 3-D extension the paper lists as future work
 //!   (`emr-mesh3`),
 //! * [`netsim`] — the packet-level network simulator (`emr-netsim`),
+//! * [`conform`] — the cross-layer conformance harness: seeded scenario
+//!   specs, the oracle table (including the epoched
+//!   `state-matches-rebuild` oracle), and the shrinking counterexample
+//!   runner (`emr-conform`),
 //!
 //! plus the most-used types at the top level.
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use emr_analysis as analysis;
+pub use emr_conform as conform;
 pub use emr_core as core;
 pub use emr_distsim as distsim;
 pub use emr_fault as fault;

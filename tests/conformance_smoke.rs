@@ -1,8 +1,10 @@
 //! Facade-level smoke of the cross-layer conformance harness: a short
 //! clean sweep finds no violations, and the sweep's determinism holds at
 //! the workspace boundary (the CI job runs the full 200-seed version).
+//! Goes through the facade re-export on purpose — `emr2d::conform` is the
+//! supported path to the harness.
 
-use emr_conform::{run, RunConfig};
+use emr2d::conform::{run, RunConfig};
 
 #[test]
 fn short_conformance_sweep_is_clean_and_deterministic() {
