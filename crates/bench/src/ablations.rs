@@ -148,7 +148,7 @@ pub fn information_cost(cfg: &SweepConfig) -> SeriesTable {
                 b_stats.messages as f64,
                 mark_count as f64,
                 x_stats.messages as f64,
-                rows as f64 / f64::from(mesh.height() as u32),
+                rows as f64 / f64::from(mesh.height()),
             ]
         },
     )

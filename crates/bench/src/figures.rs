@@ -46,11 +46,12 @@ pub fn fig7(cfg: &SweepConfig) -> SeriesTable {
         cfg,
         &["analytical", "simulated rows", "simulated columns"],
         |input: &TrialInput<'_>, _| {
-            let k = input.scenario.faults().len() as u32;
+            let k = u32::try_from(input.scenario.faults().len()).unwrap_or(u32::MAX);
+            let nu = u32::try_from(n).unwrap_or(0);
             vec![
-                affected::expected_affected_rows(n as u32, k) / f64::from(n as u32),
-                affected::affected_rows(input.scenario.blocks()) as f64 / f64::from(n as u32),
-                affected::affected_columns(input.scenario.blocks()) as f64 / f64::from(n as u32),
+                affected::expected_affected_rows(nu, k) / f64::from(nu),
+                affected::affected_rows(input.scenario.blocks()) as f64 / f64::from(nu),
+                affected::affected_columns(input.scenario.blocks()) as f64 / f64::from(nu),
             ]
         },
     )

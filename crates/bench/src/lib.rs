@@ -51,7 +51,10 @@ impl CliOptions {
                     .map_err(|e| format!("{name}: {e}"))
             };
             match arg.as_str() {
-                "--trials" => config.trials = take("--trials")? as u32,
+                "--trials" => {
+                    config.trials = u32::try_from(take("--trials")?)
+                        .map_err(|e| format!("--trials: {e}"))?;
+                }
                 "--threads" => {
                     let n = take("--threads")? as usize;
                     if n == 0 {
@@ -59,7 +62,10 @@ impl CliOptions {
                     }
                     config.threads = Some(n);
                 }
-                "--size" => config.mesh_size = take("--size")? as i32,
+                "--size" => {
+                    config.mesh_size = i32::try_from(take("--size")?)
+                        .map_err(|e| format!("--size: {e}"))?;
+                }
                 "--seed" => config.seed = take("--seed")?,
                 "--step" => step = take("--step")? as usize,
                 "--max-faults" => max_faults = take("--max-faults")? as usize,

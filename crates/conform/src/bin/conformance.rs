@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+// emr-lint: allow(R2, "wall-clock elapsed time is reported, never used in checks")
 use std::time::Instant;
 
 use emr_conform::report::{self, ConformReport, OracleTally, Repro};
@@ -89,6 +90,7 @@ fn main() {
     // replays the failing check hundreds of times).
     std::panic::set_hook(Box::new(|_| {}));
 
+    // emr-lint: allow(R2, "wall-clock elapsed time is reported, never used in checks")
     let started = Instant::now();
     let outcome = runner::run(&opts.run);
     let elapsed_ms = started.elapsed().as_millis() as u64;
@@ -148,9 +150,7 @@ fn main() {
         master_seed: opts.run.master_seed,
         seeds: outcome.checked,
         threads: opts.run.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }),
         sabotage: opts.run.sabotage,
         violations: total_violations,

@@ -853,7 +853,7 @@ mod tests {
 
     #[test]
     fn oracle_names_are_unique_and_kebab() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for o in ORACLES {
             assert!(seen.insert(o.name), "duplicate oracle {}", o.name);
             assert!(o

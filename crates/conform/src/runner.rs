@@ -94,9 +94,7 @@ pub fn run(config: &RunConfig) -> RunOutcome {
     let threads = config
         .threads
         .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         })
         .max(1);
     let chunk_count = config.seeds.div_ceil(CHUNK_TRIALS) as usize;
@@ -124,8 +122,10 @@ pub fn run(config: &RunConfig) -> RunOutcome {
                         if chunk >= chunk_count {
                             break;
                         }
-                        let lo = chunk as u32 * CHUNK_TRIALS;
-                        let hi = (lo + CHUNK_TRIALS).min(config.seeds);
+                        let lo = u32::try_from(chunk)
+                            .unwrap_or(u32::MAX)
+                            .saturating_mul(CHUNK_TRIALS);
+                        let hi = lo.saturating_add(CHUNK_TRIALS).min(config.seeds);
                         let failures = (lo..hi)
                             .filter_map(|t| check_trial(config, ctx, t))
                             .collect();

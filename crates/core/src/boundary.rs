@@ -42,7 +42,7 @@ impl BoundaryMap {
 
     /// The contours passing through `c` (empty off the lines).
     pub fn marks_at(&self, c: Coord) -> &[BoundaryMark] {
-        self.marks.get(c).map(Vec::as_slice).unwrap_or(&[])
+        self.marks.get(c).map_or(&[], Vec::as_slice)
     }
 
     /// Total number of (node, mark) pairs — the storage cost of the
@@ -105,7 +105,7 @@ mod tests {
         // Column x=1 is L3 of the lower block; below the lower block the
         // joined contour of the upper block passes through it too.
         let marks = map.marks_at(Coord::new(1, 0));
-        let blocks_here: std::collections::HashSet<_> = marks.iter().map(|m| m.block).collect();
+        let blocks_here: std::collections::BTreeSet<_> = marks.iter().map(|m| m.block).collect();
         assert_eq!(blocks_here.len(), 2, "joined contour carries both blocks");
     }
 
@@ -135,11 +135,11 @@ mod tests {
         ));
         let fb = sc.boundary_map(Model::FaultBlock);
         let mcc = sc.boundary_map(Model::Mcc);
-        let fb_rects: std::collections::HashSet<_> = mesh
+        let fb_rects: std::collections::BTreeSet<_> = mesh
             .nodes()
             .flat_map(|c| fb.marks_at(c).iter().map(|m| m.block).collect::<Vec<_>>())
             .collect();
-        let mcc_rects: std::collections::HashSet<_> = mesh
+        let mcc_rects: std::collections::BTreeSet<_> = mesh
             .nodes()
             .flat_map(|c| mcc.marks_at(c).iter().map(|m| m.block).collect::<Vec<_>>())
             .collect();

@@ -61,7 +61,10 @@ pub fn select_pivots(
 /// region is at least `Σ 4^(i−1)` nodes wide and tall.
 fn latin_pivots(region: Rect, level: u32, rng: &mut impl Rng) -> Vec<Coord> {
     let total: i64 = (0..level).map(|i| 4i64.pow(i)).sum();
-    let count = (total.min(region.width() as i64).min(region.height() as i64)).max(1) as i32;
+    let clipped = total
+        .min(i64::from(region.width()))
+        .min(i64::from(region.height()));
+    let count = i32::try_from(clipped).unwrap_or(i32::MAX).max(1);
     // A random permutation of row bands.
     let mut perm: Vec<i32> = (0..count).collect();
     for i in (1..perm.len()).rev() {
@@ -101,8 +104,8 @@ fn recurse(
     }
     let pick = |rng: &mut dyn rand::RngCore| match policy {
         PivotPolicy::Center => Coord::new(
-            (region.x_min() + region.x_max()) / 2,
-            (region.y_min() + region.y_max()) / 2,
+            i32::midpoint(region.x_min(), region.x_max()),
+            i32::midpoint(region.y_min(), region.y_max()),
         ),
         PivotPolicy::Random | PivotPolicy::DistinctRowsCols => Coord::new(
             rng.gen_range(region.x_min()..=region.x_max()),

@@ -13,7 +13,7 @@ use crate::safety::{SafetyLevel, SafetyMap};
 /// The paper evaluates everything twice: under the rectangular
 /// faulty-block model (Definition 1) and under Wang's MCC refinement
 /// (Definition 2, the `a`-suffixed extensions and strategies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Model {
     /// Rectangular faulty blocks.
     FaultBlock,

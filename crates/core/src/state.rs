@@ -26,7 +26,7 @@
 //! enforced after every epoch by the `state-matches-rebuild` oracle in
 //! `emr-conform`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use emr_fault::{FaultSet, MccType};
 use emr_mesh::{Coord, Mesh, Rect};
@@ -260,7 +260,7 @@ struct CacheEntry {
 /// the new fault actually disturbed.
 #[derive(Debug, Clone, Default)]
 pub struct DecisionCache {
-    entries: HashMap<(Model, Coord, Coord), CacheEntry>,
+    entries: BTreeMap<(Model, Coord, Coord), CacheEntry>,
     hits: u64,
     misses: u64,
 }

@@ -7,13 +7,76 @@
 //! messages between mesh neighbors — the paper's protocols are strictly
 //! hop-by-hop.
 
+use std::fmt;
+
 use emr_mesh::{Coord, Grid, Mesh};
+
+/// A typed failure reported by a protocol handler.
+///
+/// Handlers never panic: a violated delivery invariant surfaces here and
+/// the engine aborts the run with [`EngineError::Protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A message was delivered to `node` from a sender that is not one of
+    /// its mesh neighbors.
+    NonNeighborDelivery {
+        /// The receiving node.
+        node: Coord,
+        /// The claimed sender.
+        from: Coord,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NonNeighborDelivery { node, from } => {
+                write!(f, "message delivered to {node} from non-neighbor {from}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Why an engine run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A handler reported a typed failure.
+    Protocol(ProtocolError),
+    /// The protocol did not quiesce within the round bound.
+    NoQuiescence {
+        /// The bound that was exhausted.
+        max_rounds: u32,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Protocol(e) => write!(f, "protocol error: {e}"),
+            EngineError::NoQuiescence { max_rounds } => {
+                write!(f, "protocol did not quiesce within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ProtocolError> for EngineError {
+    fn from(e: ProtocolError) -> Self {
+        EngineError::Protocol(e)
+    }
+}
 
 /// A distributed protocol: per-node state plus message handlers.
 ///
 /// Implementations describe what each node does, the engine handles
 /// scheduling. Nodes may only address their mesh neighbors; the engine
-/// panics otherwise (a protocol bug, not an input error).
+/// panics otherwise (a protocol bug, not an input error). Handlers report
+/// violated delivery invariants as [`ProtocolError`]s instead of
+/// panicking; [`Engine::try_run`] surfaces them as [`EngineError`]s.
 pub trait Protocol {
     /// The per-node state.
     type State;
@@ -33,7 +96,7 @@ pub trait Protocol {
         state: &mut Self::State,
         from: Coord,
         msg: Self::Msg,
-    ) -> Vec<(Coord, Self::Msg)>;
+    ) -> Result<Vec<(Coord, Self::Msg)>, ProtocolError>;
 }
 
 /// Accounting for one protocol run.
@@ -73,12 +136,12 @@ pub struct RunStats {
 ///         state: &mut u32,
 ///         _from: Coord,
 ///         dist: u32,
-///     ) -> Vec<(Coord, u32)> {
+///     ) -> Result<Vec<(Coord, u32)>, emr_distsim::ProtocolError> {
 ///         if dist >= *state {
-///             return vec![];
+///             return Ok(vec![]);
 ///         }
 ///         *state = dist;
-///         mesh.neighbors(c).map(|n| (n, dist + 1)).collect()
+///         Ok(mesh.neighbors(c).map(|n| (n, dist + 1)).collect())
 ///     }
 /// }
 ///
@@ -98,7 +161,8 @@ impl Engine {
     /// (every protocol in this crate converges in `O(width + height)`
     /// rounds; the bound only guards against protocol bugs).
     pub fn new(mesh: Mesh) -> Self {
-        let bound = 16 * (mesh.width() + mesh.height()) as u32 + 64;
+        let wh = u32::try_from(mesh.width() + mesh.height()).unwrap_or(0);
+        let bound = 16u32.saturating_mul(wh).saturating_add(64);
         Engine {
             mesh,
             max_rounds: bound,
@@ -117,13 +181,17 @@ impl Engine {
     }
 
     /// Runs `protocol` to quiescence, returning the final per-node states
-    /// and the run statistics.
+    /// and the run statistics, or a typed [`EngineError`] when a handler
+    /// fails or the round bound is exhausted.
     ///
     /// # Panics
     ///
-    /// Panics if a node addresses a non-neighbor or an off-mesh node, or if
-    /// the protocol fails to quiesce within the round bound.
-    pub fn run<P: Protocol>(&self, protocol: &P) -> (Grid<P::State>, RunStats) {
+    /// Panics if a node addresses a non-neighbor or an off-mesh node (a
+    /// protocol bug, not an input error).
+    pub fn try_run<P: Protocol>(
+        &self,
+        protocol: &P,
+    ) -> Result<(Grid<P::State>, RunStats), EngineError> {
         let mesh = self.mesh;
         let mut outbox: Vec<(Coord, Coord, P::Msg)> = Vec::new();
         let states = Grid::from_fn(mesh, |c| {
@@ -137,6 +205,16 @@ impl Engine {
         self.drain(protocol, states, outbox)
     }
 
+    /// Convenience wrapper around [`Engine::try_run`] for callers that
+    /// treat any engine failure as a bug.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Engine::try_run`]; additionally on any [`EngineError`].
+    pub fn run<P: Protocol>(&self, protocol: &P) -> (Grid<P::State>, RunStats) {
+        self.try_run(protocol).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Warm-starts `protocol` from previously converged states plus a set
     /// of fresh disturbance messages `(from, to, msg)` — the paper's §1
     /// claim that "when a disturbance occurs, only those affected nodes
@@ -145,14 +223,14 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// As for [`Engine::run`]; additionally if `states` covers a different
-    /// mesh.
-    pub fn resume<P: Protocol>(
+    /// As for [`Engine::try_run`]; additionally if `states` covers a
+    /// different mesh.
+    pub fn try_resume<P: Protocol>(
         &self,
         protocol: &P,
         states: Grid<P::State>,
         disturbances: Vec<(Coord, Coord, P::Msg)>,
-    ) -> (Grid<P::State>, RunStats) {
+    ) -> Result<(Grid<P::State>, RunStats), EngineError> {
         assert_eq!(states.mesh(), self.mesh, "state grid mesh mismatch");
         let outbox: Vec<(Coord, Coord, P::Msg)> = disturbances
             .into_iter()
@@ -164,21 +242,37 @@ impl Engine {
         self.drain(protocol, states, outbox)
     }
 
+    /// Convenience wrapper around [`Engine::try_resume`] for callers that
+    /// treat any engine failure as a bug.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Engine::try_resume`]; additionally on any [`EngineError`].
+    pub fn resume<P: Protocol>(
+        &self,
+        protocol: &P,
+        states: Grid<P::State>,
+        disturbances: Vec<(Coord, Coord, P::Msg)>,
+    ) -> (Grid<P::State>, RunStats) {
+        self.try_resume(protocol, states, disturbances)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     fn drain<P: Protocol>(
         &self,
         protocol: &P,
         mut states: Grid<P::State>,
         mut outbox: Vec<(Coord, Coord, P::Msg)>,
-    ) -> (Grid<P::State>, RunStats) {
+    ) -> Result<(Grid<P::State>, RunStats), EngineError> {
         let mesh = self.mesh;
         let mut stats = RunStats::default();
         while !outbox.is_empty() {
             stats.rounds += 1;
-            assert!(
-                stats.rounds <= self.max_rounds,
-                "protocol did not quiesce within {} rounds",
-                self.max_rounds
-            );
+            if stats.rounds > self.max_rounds {
+                return Err(EngineError::NoQuiescence {
+                    max_rounds: self.max_rounds,
+                });
+            }
             // Deterministic delivery order; stable sort keeps same-edge
             // messages in send order.
             let mut inbox = std::mem::take(&mut outbox);
@@ -186,13 +280,13 @@ impl Engine {
             for (to, from, msg) in inbox {
                 stats.messages += 1;
                 let state = states.get_mut(to).expect("validated at send time");
-                for (next_to, next_msg) in protocol.on_message(&mesh, to, state, from, msg) {
+                for (next_to, next_msg) in protocol.on_message(&mesh, to, state, from, msg)? {
                     check_edge(&mesh, to, next_to);
                     outbox.push((next_to, to, next_msg));
                 }
             }
         }
-        (states, stats)
+        Ok((states, stats))
     }
 }
 
@@ -234,12 +328,13 @@ mod tests {
             state: &mut bool,
             _from: Coord,
             (): (),
-        ) -> Vec<(Coord, ())> {
+        ) -> Result<Vec<(Coord, ())>, ProtocolError> {
             *state = true;
-            mesh.neighbor(c, emr_mesh::Direction::East)
+            Ok(mesh
+                .neighbor(c, emr_mesh::Direction::East)
                 .map(|n| (n, ()))
                 .into_iter()
-                .collect()
+                .collect())
         }
     }
 
@@ -271,8 +366,8 @@ mod tests {
                 (): &mut (),
                 _: Coord,
                 (): (),
-            ) -> Vec<(Coord, ())> {
-                vec![]
+            ) -> Result<Vec<(Coord, ())>, ProtocolError> {
+                Ok(vec![])
             }
         }
         let (_, stats) = Engine::new(Mesh::square(3)).run(&Silent);
@@ -300,8 +395,8 @@ mod tests {
                 (): &mut (),
                 _: Coord,
                 (): (),
-            ) -> Vec<(Coord, ())> {
-                vec![]
+            ) -> Result<Vec<(Coord, ())>, ProtocolError> {
+                Ok(vec![])
             }
         }
         let _ = Engine::new(Mesh::square(4)).run(&Bad);
@@ -328,8 +423,8 @@ mod tests {
                 (): &mut (),
                 from: Coord,
                 (): (),
-            ) -> Vec<(Coord, ())> {
-                vec![(from, ())]
+            ) -> Result<Vec<(Coord, ())>, ProtocolError> {
+                Ok(vec![(from, ())])
             }
         }
         let _ = Engine::new(Mesh::square(2))

@@ -29,5 +29,5 @@
 pub mod engine;
 pub mod protocols;
 
-pub use engine::{Engine, Protocol, RunStats};
+pub use engine::{Engine, EngineError, Protocol, ProtocolError, RunStats};
 pub use protocols::reformation::{ReFormation, RepairStats};

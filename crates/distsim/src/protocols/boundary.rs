@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use emr_mesh::{Coord, Direction, Grid, Mesh, Rect};
 
-use crate::engine::Protocol;
+use crate::engine::{Protocol, ProtocolError};
 
 /// One of the four boundary lines of a faulty block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -213,10 +213,10 @@ impl Protocol for BoundaryPropagation {
         state: &mut Vec<BoundaryMark>,
         from: Coord,
         msg: RayMsg,
-    ) -> Vec<(Coord, RayMsg)> {
+    ) -> Result<Vec<(Coord, RayMsg)>, ProtocolError> {
         let toward_block = c
             .direction_to(from)
-            .expect("engine only delivers neighbor messages");
+            .ok_or(ProtocolError::NonNeighborDelivery { node: c, from })?;
         let fresh = Self::record(
             state,
             BoundaryMark {
@@ -228,9 +228,9 @@ impl Protocol for BoundaryPropagation {
         if !fresh {
             // Already visited by this contour (e.g. overlapping rays):
             // stop to guarantee termination.
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        self.next_hop(mesh, c, msg).into_iter().collect()
+        Ok(self.next_hop(mesh, c, msg).into_iter().collect())
     }
 }
 
@@ -283,10 +283,15 @@ pub fn compute_global(
                     } else {
                         break;
                     };
+                    // `next` is one step from `cur`, so the direction
+                    // always exists; stop the ray defensively otherwise.
+                    let Some(toward_block) = next.direction_to(cur) else {
+                        break;
+                    };
                     mark = BoundaryMark {
                         block: *block,
                         line,
-                        toward_block: next.direction_to(cur).expect("adjacent"),
+                        toward_block,
                     };
                     if !record(next, mark, &mut out) {
                         break;

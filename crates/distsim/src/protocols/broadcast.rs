@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use emr_mesh::{Coord, Grid, Mesh};
 
-use crate::engine::Protocol;
+use crate::engine::{Protocol, ProtocolError};
 use crate::protocols::EslTuple;
 
 /// What a node knows after the broadcast: the safety level of every pivot
@@ -74,15 +74,16 @@ impl Protocol for PivotBroadcast {
         state: &mut PivotKnowledge,
         from: Coord,
         msg: PivotMsg,
-    ) -> Vec<(Coord, PivotMsg)> {
+    ) -> Result<Vec<(Coord, PivotMsg)>, ProtocolError> {
         if self.blocked[c] || state.contains_key(&msg.pivot) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         state.insert(msg.pivot, msg.esl);
-        self.open_neighbors(mesh, c)
+        Ok(self
+            .open_neighbors(mesh, c)
             .filter(|&n| n != from)
             .map(|n| (n, msg))
-            .collect()
+            .collect())
     }
 }
 

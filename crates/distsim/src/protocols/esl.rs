@@ -11,7 +11,7 @@
 
 use emr_mesh::{Coord, Direction, Grid, Mesh, UNBOUNDED};
 
-use crate::engine::Protocol;
+use crate::engine::{Protocol, ProtocolError};
 use crate::protocols::{EslTuple, ESL_DEFAULT};
 
 /// The safety-level formation protocol over a fixed obstacle map.
@@ -89,9 +89,9 @@ impl Protocol for EslFormation {
         state: &mut EslTuple,
         _from: Coord,
         msg: EslMsg,
-    ) -> Vec<(Coord, EslMsg)> {
+    ) -> Result<Vec<(Coord, EslMsg)>, ProtocolError> {
         // The sender sits one hop closer to the block than we do.
-        self.update(mesh, c, state, msg.dir, msg.dist + 1)
+        Ok(self.update(mesh, c, state, msg.dir, msg.dist + 1))
     }
 }
 

@@ -11,7 +11,7 @@
 
 use emr_mesh::{Coord, Direction, Grid, Mesh};
 
-use crate::engine::Protocol;
+use crate::engine::{Protocol, ProtocolError};
 use crate::protocols::EslTuple;
 
 /// What a node knows after the exchange: every `(offset-along-axis, safety
@@ -158,7 +158,7 @@ impl Protocol for RegionExchange {
         state: &mut RegionKnowledge,
         from: Coord,
         msg: SweepMsg,
-    ) -> Vec<(Coord, SweepMsg)> {
+    ) -> Result<Vec<(Coord, SweepMsg)>, ProtocolError> {
         let knowledge = match msg.axis {
             Axis::Row => &mut state.row,
             Axis::Col => &mut state.col,
@@ -169,20 +169,22 @@ impl Protocol for RegionExchange {
             }
         }
         // Keep sweeping away from the sender, accumulating our own entry.
-        let dir = from.direction_to(c).expect("neighbor message");
+        let dir = from
+            .direction_to(c)
+            .ok_or(ProtocolError::NonNeighborDelivery { node: c, from })?;
         let next = c.step(dir);
         if !self.is_open(mesh, next) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut entries = msg.entries;
         entries.push((msg.axis.offset(c), self.esl[c]));
-        vec![(
+        Ok(vec![(
             next,
             SweepMsg {
                 axis: msg.axis,
                 entries,
             },
-        )]
+        )])
     }
 }
 
@@ -236,8 +238,8 @@ mod tests {
 
     fn normalized(k: &RegionKnowledge) -> RegionKnowledge {
         let mut out = k.clone();
-        out.row.sort();
-        out.col.sort();
+        out.row.sort_unstable();
+        out.col.sort_unstable();
         out
     }
 
@@ -261,13 +263,13 @@ mod tests {
         // Left region: x = 0..=3; right region: x = 5..=8.
         let left: Vec<i32> = {
             let mut xs: Vec<i32> = dist[Coord::new(1, 0)].row.iter().map(|e| e.0).collect();
-            xs.sort();
+            xs.sort_unstable();
             xs
         };
         assert_eq!(left, vec![0, 1, 2, 3]);
         let right: Vec<i32> = {
             let mut xs: Vec<i32> = dist[Coord::new(7, 0)].row.iter().map(|e| e.0).collect();
-            xs.sort();
+            xs.sort_unstable();
             xs
         };
         assert_eq!(right, vec![5, 6, 7, 8]);

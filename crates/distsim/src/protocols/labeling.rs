@@ -9,7 +9,7 @@
 
 use emr_mesh::{Coord, Direction, Grid, Mesh};
 
-use crate::engine::Protocol;
+use crate::engine::{Protocol, ProtocolError};
 
 /// A node's status under the distributed Definition 1 labeling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,20 +85,22 @@ impl Protocol for BlockLabeling {
         state: &mut BlockState,
         from: Coord,
         BlockedMsg: BlockedMsg,
-    ) -> Vec<(Coord, BlockedMsg)> {
-        let dir = c.direction_to(from).expect("neighbor message");
+    ) -> Result<Vec<(Coord, BlockedMsg)>, ProtocolError> {
+        let dir = c
+            .direction_to(from)
+            .ok_or(ProtocolError::NonNeighborDelivery { node: c, from })?;
         state.known_blocked[dir.index()] = true;
         if state.status != BlockStatus::Enabled {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let blocked = |d: Direction| state.known_blocked[d.index()];
         let x = blocked(Direction::East) || blocked(Direction::West);
         let y = blocked(Direction::North) || blocked(Direction::South);
         if x && y {
             state.status = BlockStatus::Disabled;
-            Self::announce(mesh, c)
+            Ok(Self::announce(mesh, c))
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 }
@@ -213,16 +215,18 @@ impl Protocol for MccLabeling {
         state: &mut MccState,
         from: Coord,
         msg: MccStatusMsg,
-    ) -> Vec<(Coord, MccStatusMsg)> {
+    ) -> Result<Vec<(Coord, MccStatusMsg)>, ProtocolError> {
         if state.faulty {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let dir = c.direction_to(from).expect("neighbor message");
+        let dir = c
+            .direction_to(from)
+            .ok_or(ProtocolError::NonNeighborDelivery { node: c, from })?;
         match msg {
             MccStatusMsg::ForwardBlocked => state.fwd_blocked[dir.index()] = true,
             MccStatusMsg::BackwardBlocked => state.bwd_blocked[dir.index()] = true,
         }
-        self.evaluate(mesh, c, state)
+        Ok(self.evaluate(mesh, c, state))
     }
 }
 

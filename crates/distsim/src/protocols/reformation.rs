@@ -173,10 +173,10 @@ mod tests {
     fn assert_matches_full_rerun(rf: &ReFormation, ctx: &str) {
         let (full, _) = Engine::new(rf.mesh()).run(&EslFormation::new(rf.blocked.clone()));
         for c in rf.mesh().nodes() {
-            if !rf.blocked[c] {
-                assert_eq!(rf.levels()[c], full[c], "{ctx} at {c}");
-            } else {
+            if rf.blocked[c] {
                 assert_eq!(rf.levels()[c], ESL_DEFAULT, "{ctx}: blocked {c}");
+            } else {
+                assert_eq!(rf.levels()[c], full[c], "{ctx} at {c}");
             }
         }
     }

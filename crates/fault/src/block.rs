@@ -216,7 +216,7 @@ impl BlockMap {
         let mut rect = Rect::point(c);
         let mut faulty_nodes = 0;
         let mut disabled_nodes = 0;
-        let mut visited = std::collections::HashSet::from([c]);
+        let mut visited = std::collections::BTreeSet::from([c]);
         let mut queue = VecDeque::from([c]);
         while let Some(u) = queue.pop_front() {
             rect = rect.expanded_to(u);

@@ -306,7 +306,7 @@ impl MccMap {
         let mut nodes = Vec::new();
         let mut faulty_nodes = 0;
         let mut disabled_nodes = 0;
-        let mut visited = std::collections::HashSet::from([c]);
+        let mut visited = std::collections::BTreeSet::from([c]);
         let mut queue = std::collections::VecDeque::from([c]);
         while let Some(u) = queue.pop_front() {
             rect = rect.expanded_to(u);

@@ -49,12 +49,10 @@ pub fn minimal_path_exists_with(
     blocked: impl Fn(Coord) -> bool,
     ws: &mut Workspace,
 ) -> bool {
-    reach_table_into(mesh, s, d, &blocked, &mut ws.table)
-        .map(|frame| {
-            let rd = frame.to_rel(d);
-            ws.table[Coord::new(rd.x, rd.y)]
-        })
-        .unwrap_or(false)
+    reach_table_into(mesh, s, d, &blocked, &mut ws.table).is_some_and(|frame| {
+        let rd = frame.to_rel(d);
+        ws.table[Coord::new(rd.x, rd.y)]
+    })
 }
 
 /// Constructs a minimal path from `s` to `d` avoiding `blocked`, if one

@@ -1,0 +1,8 @@
+// Fixture: the same R2 violation as r2_instant.rs, suppressed by a
+// scoped allow annotation with a reason (must produce zero findings).
+pub fn now_marker() -> u64 {
+    // emr-lint: allow(R2, "fixture demonstrating the escape hatch")
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

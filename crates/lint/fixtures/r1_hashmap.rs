@@ -1,0 +1,4 @@
+// Known-bad fixture: randomized-iteration collection (fires R1 once).
+pub fn order(counts: &std::collections::HashMap<usize, usize>) -> usize {
+    counts.len()
+}

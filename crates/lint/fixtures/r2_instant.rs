@@ -1,0 +1,6 @@
+// Known-bad fixture: ambient wall-clock time (fires R2 once).
+pub fn now_marker() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

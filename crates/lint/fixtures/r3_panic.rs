@@ -1,0 +1,7 @@
+// Known-bad fixture: panicking macro in a protocol path (fires R3 once
+// when scanned under a distsim::protocols virtual path).
+pub fn deliver(ok: bool) {
+    if !ok {
+        panic!("unreachable delivery");
+    }
+}

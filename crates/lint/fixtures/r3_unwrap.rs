@@ -1,0 +1,5 @@
+// Known-bad fixture: panicking call in a routing path (fires R3 once
+// when scanned under a core::route virtual path).
+pub fn first(hops: &[usize]) -> usize {
+    *hops.first().unwrap()
+}

@@ -1,0 +1,4 @@
+// Known-bad fixture: truncating cast on an index type (fires R4 once).
+pub fn narrow(len: usize) -> u16 {
+    len as u16
+}

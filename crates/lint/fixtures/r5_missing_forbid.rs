@@ -1,0 +1,5 @@
+// Known-bad fixture: a crate root with no `#![forbid(unsafe_code)]`
+// (fires R5 once when scanned under a src/lib.rs virtual path).
+pub fn answer() -> usize {
+    42
+}

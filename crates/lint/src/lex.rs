@@ -1,0 +1,352 @@
+//! A minimal Rust lexer: just enough structure for the rule matchers.
+//!
+//! The build environment is fully offline, so instead of `syn` the pass
+//! runs over a hand-rolled token stream. The lexer's contract is narrow
+//! and suited to lexical rules: comments, string/char literals, and
+//! lifetimes are stripped (so a `HashMap` inside a doc example or an
+//! error message never fires), identifiers and single-character
+//! punctuation survive with their line numbers, and `// emr-lint:
+//! allow(...)` annotations are collected from the discarded comments.
+
+/// One surviving token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload: the identifier text, or a single punctuation char.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`as`, `cfg`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A scoped suppression parsed from a `// emr-lint: allow(Rx, "reason")`
+/// comment. It silences findings of rule `rule` on its own line and the
+/// line directly below (annotation-above style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule id named in the annotation (e.g. `R2`).
+    pub rule: String,
+    /// The justification string; the annotation is invalid without one.
+    pub reason: String,
+    /// 1-based line the annotation sits on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The surviving tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Every well-formed allow annotation found in comments.
+    pub allows: Vec<Allow>,
+    /// Malformed annotations (`emr-lint:` comments that did not parse as
+    /// `allow(<rule>, "<non-empty reason>")`) — reported as findings so a
+    /// typo cannot silently disable a rule.
+    pub bad_annotations: Vec<u32>,
+}
+
+/// Lexes `src`, stripping comments/strings/lifetimes and collecting
+/// allow annotations.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_annotation(&src[start..i], line, &mut out);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                i = skip_raw_or_byte_literal(b, i, &mut line);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(b, i, &mut line);
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal: consume the alphanumeric tail (covers
+                // suffixes like `0u32`); floats lex as two numbers around
+                // a `.` punct, which the matchers never look at.
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+            }
+            _ => {
+                if !c.is_ascii_whitespace() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(c as char),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`), or byte char (`b'`).
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true;
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+fn skip_raw_or_byte_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let byte = b[i] == b'b';
+    if byte {
+        i += 1;
+    }
+    if b[i] == b'\'' {
+        return skip_char_or_lifetime(b, i, line);
+    }
+    if b[i] != b'r' {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    // Opening quote.
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Skip the opening quote.
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_or_lifetime(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // `i` points at the quote.
+    i += 1;
+    if i >= b.len() {
+        return i;
+    }
+    if b[i] == b'\\' {
+        // Escaped char literal.
+        i += 2;
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    if b[i] == b'_' || b[i].is_ascii_alphabetic() {
+        // `'a'` is a char literal, `'a` (no closing quote) a lifetime.
+        let mut j = i;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'\'' {
+            return j + 1;
+        }
+        return j; // lifetime: leave following tokens intact
+    }
+    // Any other single char literal (`'.'`, `'\n'` handled above).
+    if b[i] == b'\n' {
+        *line += 1;
+    }
+    i += 1;
+    while i < b.len() && b[i] != b'\'' {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+/// Parses `// emr-lint: allow(<rule>, "<reason>")` out of a line comment.
+/// Only comments that *start* with the marker count as annotations, so
+/// prose that merely mentions the syntax is ignored.
+fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = body.strip_prefix("emr-lint:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let parsed = (|| -> Option<Allow> {
+        let rest = rest.strip_prefix("allow(")?;
+        let close = rest.rfind(')')?;
+        let inner = &rest[..close];
+        let (rule, reason) = inner.split_once(',')?;
+        let reason = reason.trim();
+        let reason = reason.strip_prefix('"')?.strip_suffix('"')?;
+        if reason.trim().is_empty() {
+            return None;
+        }
+        Some(Allow {
+            rule: rule.trim().to_string(),
+            reason: reason.to_string(),
+            line,
+        })
+    })();
+    match parsed {
+        Some(a) => out.allows.push(a),
+        None => out.bad_annotations.push(line),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    // False positive: the literal embeds `"#`, so two hashes are required.
+    #[allow(clippy::needless_raw_string_hashes)]
+    fn comments_strings_and_lifetimes_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            /// doc example: `thread_rng()`
+            fn f<'a>(s: &'a str) -> usize {
+                let msg = "HashMap inside a string";
+                let raw = r#"Instant inside raw "string""#;
+                let c = 'x';
+                let nl = '\n';
+                msg.len()
+            }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"msg".to_string()));
+        // The lifetime `'a` does not swallow following tokens.
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nlet x = 1;\n\"s\ntr\"\nfinal_ident";
+        let lexed = lex(src);
+        let last = lexed.tokens.last().expect("tokens");
+        assert_eq!(last.kind.ident(), Some("final_ident"));
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn allow_annotations_parse_and_require_reasons() {
+        let src = "\n// emr-lint: allow(R2, \"wall-clock reporting only\")\nlet t = 1;\n// emr-lint: allow(R1)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "R2");
+        assert_eq!(lexed.allows[0].line, 2);
+        assert_eq!(lexed.bad_annotations, vec![4]);
+    }
+}

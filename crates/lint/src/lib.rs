@@ -1,0 +1,35 @@
+//! `emr-lint`: the workspace determinism & safety auditor.
+//!
+//! Every guarantee this reproduction makes — bit-identical parallel
+//! sweeps, seed-reproducible conformance repros, epoch-incremental state
+//! that diffs clean against rebuilds — rests on determinism, the same
+//! property Wu & Jiang's limited-global-information model needs so that
+//! identical fault information yields identical routing decisions at
+//! every node. This crate enforces it statically: a lexical pass over
+//! the first-party crates with a declarative rule table (R1–R5, see
+//! [`rules::RULES`]) and a scoped `// emr-lint: allow(<rule>, "<reason>")`
+//! escape hatch.
+//!
+//! It ships as both a binary (`cargo run -p emr-lint`) that gates CI and
+//! a `#[test]` wrapper (`tests/workspace_clean.rs`) so plain
+//! `cargo test` runs the audit too.
+
+#![forbid(unsafe_code)]
+
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::Finding;
+pub use scan::{scan_source, scan_workspace};
+
+use std::path::PathBuf;
+
+/// Locates the workspace root from the lint crate's own manifest dir.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

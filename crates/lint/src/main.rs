@@ -1,0 +1,61 @@
+//! CLI for the workspace determinism & safety auditor.
+//!
+//! ```text
+//! cargo run -p emr-lint [-- --format json|human] [--root <path>]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any finding is reported,
+//! 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use emr_lint::{report, scan_workspace, workspace_root};
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("human") => format = Format::Human,
+                other => return usage(&format!("--format expects json|human, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root expects a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: emr-lint [--format json|human] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let findings = scan_workspace(&root);
+    match format {
+        Format::Human => print!("{}", report::human(&findings)),
+        Format::Json => print!("{}", report::json(&findings)),
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("emr-lint: {msg}");
+    eprintln!("usage: emr-lint [--format json|human] [--root <workspace>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,101 @@
+//! Finding type and output formats.
+//!
+//! JSON is emitted by hand (the workspace's vendored `serde_json` is a
+//! minimal stand-in and the findings shape is flat), so the CI artifact
+//! format has no dependencies at all.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`R1`…`R5`, or `allow` for malformed annotations).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What fired, including the offending token.
+    pub summary: String,
+    /// The suggested remedy.
+    pub suggestion: String,
+}
+
+/// Renders findings as a human diff-style report.
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}: {}:{}", f.rule, f.path, f.line);
+        let _ = writeln!(out, "  {}", f.summary);
+        let _ = writeln!(out, "  fix: {}", f.suggestion);
+    }
+    let _ = writeln!(
+        out,
+        "emr-lint: {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Renders findings as a JSON document: `{"findings": [...], "count": N}`.
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"summary\":{},\"suggestion\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.summary),
+            json_str(&f.suggestion),
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = Finding {
+            rule: "R1",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            summary: "bad \"thing\"".to_string(),
+            suggestion: "fix\nit".to_string(),
+        };
+        let doc = json(&[f]);
+        assert!(doc.contains("\\\"thing\\\""));
+        assert!(doc.contains("\\nit"));
+        assert!(doc.ends_with("\"count\":1}\n"));
+    }
+}

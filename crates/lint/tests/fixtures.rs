@@ -1,0 +1,147 @@
+//! Self-test fixture suite: one known-bad snippet per rule must produce
+//! exactly the expected finding (file, line, rule), and the
+//! allow-annotation fixture must suppress it.
+
+use emr_lint::scan_source;
+
+/// Scans a fixture under a virtual workspace path and asserts exactly
+/// one finding with the given rule and line.
+fn assert_single_finding(virtual_path: &str, src: &str, rule: &str, line: u32) {
+    let findings = scan_source(virtual_path, src);
+    assert_eq!(
+        findings.len(),
+        1,
+        "{virtual_path}: expected exactly one finding, got {findings:#?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert_eq!(findings[0].path, virtual_path);
+    assert_eq!(findings[0].line, line);
+}
+
+#[test]
+fn r1_hashmap_fires_once() {
+    assert_single_finding(
+        "crates/fault/src/fixture.rs",
+        include_str!("../fixtures/r1_hashmap.rs"),
+        "R1",
+        2,
+    );
+}
+
+#[test]
+fn r2_instant_fires_once() {
+    assert_single_finding(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/r2_instant.rs"),
+        "R2",
+        3,
+    );
+}
+
+#[test]
+fn r2_is_exempt_inside_bench() {
+    let findings = scan_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/r2_instant.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "bench is exempt from R2: {findings:#?}"
+    );
+}
+
+#[test]
+fn r3_unwrap_fires_once_in_route_path() {
+    assert_single_finding(
+        "crates/core/src/route/fixture.rs",
+        include_str!("../fixtures/r3_unwrap.rs"),
+        "R3",
+        4,
+    );
+}
+
+#[test]
+fn r3_panic_macro_fires_once_in_protocol_path() {
+    assert_single_finding(
+        "crates/distsim/src/protocols/fixture.rs",
+        include_str!("../fixtures/r3_panic.rs"),
+        "R3",
+        5,
+    );
+}
+
+#[test]
+fn r3_does_not_apply_outside_its_paths() {
+    let findings = scan_source(
+        "crates/mesh/src/fixture.rs",
+        include_str!("../fixtures/r3_unwrap.rs"),
+    );
+    assert!(findings.is_empty(), "R3 is path-scoped: {findings:#?}");
+}
+
+#[test]
+fn r4_truncating_cast_fires_once() {
+    assert_single_finding(
+        "crates/mesh/src/fixture.rs",
+        include_str!("../fixtures/r4_cast.rs"),
+        "R4",
+        3,
+    );
+}
+
+#[test]
+fn r5_missing_forbid_fires_on_crate_roots_only() {
+    let src = include_str!("../fixtures/r5_missing_forbid.rs");
+    assert_single_finding("crates/fixture/src/lib.rs", src, "R5", 1);
+    let findings = scan_source("crates/fixture/src/other.rs", src);
+    assert!(findings.is_empty(), "R5 only checks lib.rs: {findings:#?}");
+}
+
+#[test]
+fn allow_annotation_suppresses_with_reason() {
+    let findings = scan_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/allow_suppression.rs"),
+    );
+    assert!(findings.is_empty(), "allow must suppress: {findings:#?}");
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_finding() {
+    let src = "// emr-lint: allow(R2)\nfn f() {}\n";
+    let findings = scan_source("crates/core/src/fixture.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "allow");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn allow_for_wrong_rule_does_not_suppress() {
+    let src = "fn f() -> u64 {\n    // emr-lint: allow(R1, \"wrong rule\")\n    let t = std::time::Instant::now();\n    let _ = t;\n    0\n}\n";
+    let findings = scan_source("crates/core/src/fixture.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "R2");
+}
+
+#[test]
+fn cfg_test_items_are_exempt_from_non_test_rules() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn narrow(len: usize) -> u16 {\n        len as u16\n    }\n}\n";
+    let findings = scan_source("crates/mesh/src/fixture.rs", src);
+    assert!(findings.is_empty(), "R4 skips test code: {findings:#?}");
+}
+
+#[test]
+fn json_report_names_file_line_and_rule() {
+    let findings = scan_source(
+        "crates/mesh/src/fixture.rs",
+        include_str!("../fixtures/r4_cast.rs"),
+    );
+    let doc = emr_lint::report::json(&findings);
+    assert!(doc.contains("\"rule\":\"R4\""), "{doc}");
+    assert!(
+        doc.contains("\"path\":\"crates/mesh/src/fixture.rs\""),
+        "{doc}"
+    );
+    assert!(doc.contains("\"line\":3"), "{doc}");
+    assert!(doc.contains("\"count\":1"), "{doc}");
+}

@@ -1,0 +1,14 @@
+//! Tier-1 gate: the workspace audit runs under plain `cargo test` and
+//! must report zero findings at HEAD.
+
+use emr_lint::{report, scan_workspace, workspace_root};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let findings = scan_workspace(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "emr-lint found violations:\n{}",
+        report::human(&findings)
+    );
+}

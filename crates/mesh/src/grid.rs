@@ -127,7 +127,7 @@ mod tests {
         let mesh = Mesh::new(4, 2);
         let mut g = Grid::new(mesh, 0i64);
         for (i, c) in mesh.nodes().enumerate() {
-            g[c] = i as i64;
+            g[c] = i64::try_from(i).unwrap();
         }
         assert_eq!(g[Coord::new(3, 1)], 7);
         assert_eq!(g.get(Coord::new(4, 0)), None);
@@ -152,7 +152,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "outside")]
     fn out_of_bounds_index_panics() {
         let g = Grid::new(Mesh::square(2), 0u8);
         let _ = g[Coord::new(5, 5)];

@@ -55,7 +55,7 @@ impl Path {
     /// The number of hops (edges), which is one less than the number of
     /// nodes; 0 for empty or singleton paths.
     pub fn hops(&self) -> u32 {
-        self.nodes.len().saturating_sub(1) as u32
+        u32::try_from(self.nodes.len().saturating_sub(1)).unwrap_or(u32::MAX)
     }
 
     /// Whether every consecutive pair of nodes is mesh-adjacent.
@@ -90,7 +90,7 @@ impl Path {
 
     /// Whether the path never visits the same node twice.
     pub fn is_simple(&self) -> bool {
-        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        let mut seen = std::collections::BTreeSet::new();
         self.nodes.iter().all(|c| seen.insert(*c))
     }
 

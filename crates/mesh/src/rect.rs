@@ -21,7 +21,7 @@ use crate::Coord;
 /// assert_eq!(block.sw_corner_outside(), Coord::new(1, 2));
 /// assert_eq!(block.ne_corner_outside(), Coord::new(7, 7));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Rect {
     x_min: i32,
     x_max: i32,

@@ -183,7 +183,9 @@ impl<R: Router> NetSim<R> {
             if when > self.cycle {
                 break;
             }
-            let (_, id, packet) = self.pending.pop_front().expect("checked non-empty");
+            let Some((_, id, packet)) = self.pending.pop_front() else {
+                break;
+            };
             let at = packet.source();
             let leg_source = packet.source();
             self.resident[at].push(id);
@@ -214,10 +216,12 @@ impl<R: Router> NetSim<R> {
         let mut grants: BTreeMap<(Coord, Coord), PacketId> = BTreeMap::new();
         let mut drops: Vec<PacketId> = Vec::new();
         for (&id, flight) in &self.flights {
-            let target = flight
-                .packet
-                .current_target()
-                .expect("in-flight packets have a target");
+            let Some(target) = flight.packet.current_target() else {
+                // A target-less flight is already delivered; it cannot
+                // request a link, and dropping it keeps the map finite.
+                drops.push(id);
+                continue;
+            };
             match self.router.next_hop(flight.leg_source, target, flight.at) {
                 Ok(dir) => {
                     let link = (flight.at, flight.at.step(dir));
@@ -240,14 +244,13 @@ impl<R: Router> NetSim<R> {
             .map(|((from, to), id)| (id, from, to))
             .collect();
         for (id, from, to) in moves {
-            if !self.flights.contains_key(&id) {
+            let Some(flight) = self.flights.get_mut(&id) else {
                 continue; // dropped above
-            }
-            self.resident[from].retain(|&p| p != id);
-            self.resident[to].push(id);
-            let flight = self.flights.get_mut(&id).expect("granted flight exists");
+            };
             flight.at = to;
             flight.hops += 1;
+            self.resident[from].retain(|&p| p != id);
+            self.resident[to].push(id);
             self.try_deliver(id);
         }
 
@@ -281,7 +284,9 @@ impl<R: Router> NetSim<R> {
 
     /// Checks whether `id` has reached its current waypoint/destination.
     fn try_deliver(&mut self, id: PacketId) {
-        let flight = self.flights.get_mut(&id).expect("flight exists");
+        let Some(flight) = self.flights.get_mut(&id) else {
+            return;
+        };
         let Some(target) = flight.packet.current_target() else {
             return;
         };
@@ -347,10 +352,9 @@ impl<R: DynamicRouter> NetSim<R> {
         // Snapshot each flight's pre-fault hop choice.
         let mut before: BTreeMap<PacketId, Direction> = BTreeMap::new();
         for (&id, flight) in &self.flights {
-            let target = flight
-                .packet
-                .current_target()
-                .expect("in-flight packets have a target");
+            let Some(target) = flight.packet.current_target() else {
+                continue;
+            };
             if let Ok(dir) = self.router.next_hop(flight.leg_source, target, flight.at) {
                 before.insert(id, dir);
             }
@@ -390,10 +394,9 @@ impl<R: DynamicRouter> NetSim<R> {
             let Some(&old) = before.get(&id) else {
                 continue;
             };
-            let target = flight
-                .packet
-                .current_target()
-                .expect("in-flight packets have a target");
+            let Some(target) = flight.packet.current_target() else {
+                continue;
+            };
             if let Ok(new) = self.router.next_hop(flight.leg_source, target, flight.at) {
                 if new != old {
                     self.report.rerouted += 1;

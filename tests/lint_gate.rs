@@ -1,0 +1,16 @@
+//! Tier-1 wrapper for the workspace determinism & safety auditor: plain
+//! `cargo test` fails if any first-party source violates the emr-lint
+//! rule table (see `crates/lint` and DESIGN.md § "Static analysis").
+
+use emr_lint::{report, scan_workspace};
+
+#[test]
+fn workspace_passes_emr_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = scan_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "emr-lint found violations:\n{}",
+        report::human(&findings)
+    );
+}
