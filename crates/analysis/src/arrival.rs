@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use emr_core::{Scenario, ScenarioState};
-use emr_fault::{FaultSet, MccType};
+use emr_fault::{FaultSet, MccType, ReachMap};
 use emr_mesh::{Coord, Mesh};
 
 /// Configuration of one arrival sweep.
@@ -108,8 +108,14 @@ fn checksum(sc: &Scenario) -> u64 {
         h ^= v;
         h = h.wrapping_mul(0x100_0000_01b3);
     };
+    // Batched ground truth from the mesh center: one word-parallel build
+    // answers reachability to every node, so folding the whole map in
+    // cross-checks the kernel between the incremental and rebuilt states
+    // after every epoch (still outside the timed regions).
+    let reach = ReachMap::from_source(&sc.mesh(), sc.mesh().center(), |c| sc.faults().is_faulty(c));
     for c in sc.mesh().nodes() {
         mix(sc.blocks().state(c) as u64);
+        mix(u64::from(reach.reachable(c)));
         for d in sc.block_safety_map().level(c).as_tuple() {
             mix(d as u64);
         }

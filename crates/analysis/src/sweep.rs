@@ -24,6 +24,7 @@
 //!   trial order after all workers finish, so the floating-point
 //!   reduction tree is fixed too.
 
+use std::cell::OnceCell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -31,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use emr_core::Scenario;
-use emr_fault::{inject, FaultSet, Workspace};
+use emr_fault::{inject, FaultSet, ReachMap, Workspace};
 use emr_mesh::{Coord, Mesh};
 
 use crate::stats::Summary;
@@ -145,6 +146,34 @@ pub struct TrialInput<'a> {
     /// A destination in the source's first-quadrant submesh, outside every
     /// faulty block.
     pub dest: Coord,
+    /// Batched ground truth from the source against the raw fault set,
+    /// built on first use (measures that never consult it pay nothing).
+    reach: OnceCell<ReachMap>,
+}
+
+impl<'a> TrialInput<'a> {
+    /// Assembles a trial input; the batched reachability map stays unbuilt
+    /// until [`TrialInput::reach`] is first called.
+    pub fn new(scenario: &'a Scenario, source: Coord, dest: Coord) -> TrialInput<'a> {
+        TrialInput {
+            scenario,
+            source,
+            dest,
+            reach: OnceCell::new(),
+        }
+    }
+
+    /// The word-parallel all-destinations ground truth for this trial:
+    /// `reach().reachable(d)` equals
+    /// `reach::minimal_path_exists(mesh, source, d, faults)` for every
+    /// `d`, at O(1) per lookup after one build.
+    pub fn reach(&self) -> &ReachMap {
+        self.reach.get_or_init(|| {
+            ReachMap::from_source(&self.scenario.mesh(), self.source, |c| {
+                self.scenario.faults().is_faulty(c)
+            })
+        })
+    }
 }
 
 /// Runs a sweep with the paper's uniform fault injection: `measure`
@@ -227,11 +256,7 @@ where
                             let mut gen_rng = generation_rng(cfg.seed, item.k, t);
                             let (scenario, source, dest) =
                                 generate_trial(mesh, item.k, inject, &mut gen_rng, &mut ws);
-                            let input = TrialInput {
-                                scenario: &scenario,
-                                source,
-                                dest,
-                            };
+                            let input = TrialInput::new(&scenario, source, dest);
                             let mut measure_rng = measurement_rng(cfg.seed, item.k, t);
                             let samples = measure(&input, &mut measure_rng);
                             assert_eq!(

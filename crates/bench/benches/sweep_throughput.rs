@@ -9,7 +9,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use emr_analysis::{sweep, SeriesTable, SweepConfig};
 use emr_core::{conditions, Model};
-use emr_fault::reach;
 
 /// A representative measure: the paper's cheapest source-side check plus
 /// the global-information oracle (the two extremes every figure compares).
@@ -20,12 +19,7 @@ pub fn representative_sweep(cfg: &SweepConfig) -> SeriesTable {
         let yes = |b: bool| f64::from(u8::from(b));
         vec![
             yes(conditions::safe_source(&view, s, d).is_some()),
-            yes(reach::minimal_path_exists(
-                &input.scenario.mesh(),
-                s,
-                d,
-                |c| input.scenario.faults().is_faulty(c),
-            )),
+            yes(input.reach().reachable(d)),
         ]
     })
 }

@@ -14,7 +14,6 @@ use serde::Serialize;
 
 use emr_bench::CliOptions;
 use emr_core::{conditions, Model};
-use emr_fault::reach;
 
 /// The record written to `BENCH_sweep.json`.
 #[derive(Debug, Serialize)]
@@ -72,12 +71,9 @@ fn main() {
         let yes = |b: bool| f64::from(u8::from(b));
         vec![
             yes(conditions::safe_source(&view, s, d).is_some()),
-            yes(reach::minimal_path_exists(
-                &input.scenario.mesh(),
-                s,
-                d,
-                |c| input.scenario.faults().is_faulty(c),
-            )),
+            // Batched word-parallel ground truth (bit-identical to the
+            // scalar per-pair DP over the raw fault set).
+            yes(input.reach().reachable(d)),
         ]
     });
     let wall = start.elapsed();

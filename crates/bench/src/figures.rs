@@ -19,10 +19,7 @@ use sweep::TrialInput;
 /// labeling; it is the "existence of a minimal path" curve of every
 /// figure.
 fn optimal_exact(input: &TrialInput<'_>) -> bool {
-    let sc = input.scenario;
-    reach::minimal_path_exists(&sc.mesh(), input.source, input.dest, |c| {
-        sc.faults().is_faulty(c)
-    })
+    input.reach().reachable(input.dest)
 }
 
 /// The block-model optimum: a minimal path avoiding whole faulty blocks

@@ -31,7 +31,7 @@ use emr_core::{
 use emr_distsim::protocols::esl::{self, EslFormation};
 use emr_distsim::protocols::labeling::{BlockLabeling, BlockStatus, MccLabeling};
 use emr_distsim::Engine;
-use emr_fault::{coverage, reach, FaultSet, MccType, NodeState};
+use emr_fault::{coverage, reach, reach_bits, FaultSet, MccType, NodeState, ReachMap};
 use emr_mesh::{Coord, Grid, Mesh};
 use emr_netsim::{NetSim, Packet, WuRouter};
 use rand::rngs::StdRng;
@@ -75,6 +75,13 @@ pub const ORACLES: &[Oracle] = &[
         claim: "emr_fault::reach agrees with an independent BFS, and its \
                 witness paths are valid (ground truth: the BFS)",
         check: o_dp_vs_bfs,
+    },
+    Oracle {
+        name: "reach-bits-matches-dp",
+        claim: "the word-parallel per-pair oracle and ReachMap lookups \
+                equal the scalar DP on every pair and node, for both the \
+                fault and block obstacle sets (ground truth: emr_fault::reach)",
+        check: o_reach_bits_matches_dp,
     },
     Oracle {
         name: "sufficient-implies-dp",
@@ -282,6 +289,62 @@ fn o_dp_vs_bfs(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
                         "dp-vs-bfs",
                         format!("{s}->{d}: DP reachable but no witness path"),
                     ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn o_reach_bits_matches_dp(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let faults = sc.faults();
+    let blocks = sc.blocks();
+    let is_fault = |c: Coord| faults.is_faulty(c);
+    let is_block = |c: Coord| blocks.is_blocked(c);
+    let obstacle_sets: [(&str, &dyn Fn(Coord) -> bool); 2] =
+        [("faults", &is_fault), ("blocks", &is_block)];
+    for (label, blocked) in obstacle_sets {
+        // Per-pair drop-in: both oracles answer every spec pair alike.
+        for &(s, d) in &spec.pairs {
+            let scalar = reach::minimal_path_exists(&mesh, s, d, blocked);
+            let bits = reach_bits::minimal_path_exists_bits(&mesh, s, d, blocked);
+            if bits != scalar {
+                out.push(violation(
+                    "reach-bits-matches-dp",
+                    format!(
+                        "[{label}] {s}->{d}: bit-parallel says {bits}, scalar DP says {scalar}"
+                    ),
+                ));
+            }
+        }
+        // Batched map: from up to two distinct pair sources, every node's
+        // lookup equals a scalar recompute (covers all four quadrants and
+        // the axis/source overlaps between them).
+        let mut sources: Vec<Coord> = Vec::new();
+        for &(s, _) in &spec.pairs {
+            if !sources.contains(&s) {
+                sources.push(s);
+            }
+            if sources.len() == 2 {
+                break;
+            }
+        }
+        for s in sources {
+            let map = ReachMap::from_source(&mesh, s, blocked);
+            for d in mesh.nodes() {
+                let scalar = reach::minimal_path_exists(&mesh, s, d, blocked);
+                if map.reachable(d) != scalar {
+                    out.push(violation(
+                        "reach-bits-matches-dp",
+                        format!(
+                            "[{label}] ReachMap from {s} says {} at {d}, scalar DP says {scalar}",
+                            map.reachable(d)
+                        ),
+                    ));
+                    break; // one node pinpoints the divergence; the rest cascade
                 }
             }
         }

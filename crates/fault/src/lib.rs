@@ -15,6 +15,9 @@
 //!   I/III routing and type-two for II/IV),
 //! * [`reach`] — the exact monotone-reachability oracle (the ground truth
 //!   "existence of a minimal path" curve of every figure),
+//! * [`reach_bits`] — the word-parallel form of the same oracle: a packed
+//!   per-pair kernel plus [`ReachMap`], which answers reachability from
+//!   one source to every node after four quadrant sweeps,
 //! * [`coverage`] — Wang's necessary-and-sufficient condition phrased on
 //!   block rectangles (the global-information baseline).
 //!
@@ -46,9 +49,11 @@ mod fault_set;
 pub mod inject;
 mod mcc;
 pub mod reach;
+pub mod reach_bits;
 pub mod workspace;
 
 pub use block::{BlockMap, FaultyBlock, NodeState};
 pub use fault_set::FaultSet;
 pub use mcc::{Mcc, MccMap, MccStatus, MccType};
+pub use reach_bits::ReachMap;
 pub use workspace::Workspace;

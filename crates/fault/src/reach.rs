@@ -77,13 +77,15 @@ pub fn minimal_path_with(
     ws: &mut Workspace,
 ) -> Option<Path> {
     let frame = reach_table_into(mesh, s, d, &blocked, &mut ws.table)?;
-    let table = &ws.table;
+    let Workspace { table, rev, .. } = ws;
     let rd = frame.to_rel(d);
     if !table[rd] {
         return None;
     }
-    // Walk backwards from the destination through reachable predecessors.
-    let mut rev = vec![rd];
+    // Walk backwards from the destination through reachable predecessors,
+    // into the workspace buffer — only the returned Path allocates.
+    rev.clear();
+    rev.push(rd);
     let mut cur = rd;
     while cur != Coord::ORIGIN {
         let west = Coord::new(cur.x - 1, cur.y);
@@ -94,7 +96,7 @@ pub fn minimal_path_with(
         };
         rev.push(cur);
     }
-    Some(rev.into_iter().rev().map(|c| frame.to_abs(c)).collect())
+    Some(rev.iter().rev().map(|&c| frame.to_abs(c)).collect())
 }
 
 /// Forward DP over the normalized rectangle: `table[c]` says whether a

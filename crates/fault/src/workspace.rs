@@ -15,7 +15,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
-use emr_mesh::{Coord, Dist, Grid, Mesh};
+use emr_mesh::{BitGrid, Coord, Dist, Grid, Mesh};
 
 /// A direction-indexed safety-level tuple, structurally identical to
 /// `emr_distsim::protocols::EslTuple` (this crate cannot name that alias
@@ -53,6 +53,14 @@ pub struct Workspace {
     pub table: Grid<bool>,
     /// Safety-level tuples for the directional distance sweeps.
     pub tuples: Grid<LevelTuple>,
+    /// Packed obstacle bits for the word-parallel reachability kernels.
+    pub packed: BitGrid,
+    /// Packed open-mask row for [`crate::reach_bits::reach_row`].
+    pub row_open: Vec<u64>,
+    /// Packed reach-bits row carried between [`crate::reach_bits`] rows.
+    pub row_cur: Vec<u64>,
+    /// Reverse back-walk buffer for [`crate::reach::minimal_path_with`].
+    pub rev: Vec<Coord>,
 }
 
 impl Workspace {
@@ -67,6 +75,10 @@ impl Workspace {
             mark_c: Grid::new(unit, false),
             table: Grid::new(unit, false),
             tuples: Grid::new(unit, [0; 4]),
+            packed: BitGrid::new(unit),
+            row_open: Vec::new(),
+            row_cur: Vec::new(),
+            rev: Vec::new(),
         }
     }
 }
@@ -116,6 +128,7 @@ mod tests {
     #[test]
     fn workspace_survives_mesh_changes() {
         use crate::reach::{minimal_path_exists, minimal_path_exists_with};
+        use crate::reach_bits::{minimal_path_exists_bits_with, ReachMap};
         use crate::{BlockMap, FaultSet, MccMap, MccType};
 
         // One workspace, driven through every *_with entry point across
@@ -148,6 +161,19 @@ mod tests {
                 minimal_path_exists(&mesh, s, d, blocked),
                 "{w}x{h} reach"
             );
+            assert_eq!(
+                minimal_path_exists_bits_with(&mesh, s, d, blocked, &mut ws),
+                minimal_path_exists(&mesh, s, d, blocked),
+                "{w}x{h} reach bits"
+            );
+            let map = ReachMap::from_source_with(&mesh, s, blocked, &mut ws);
+            for dest in mesh.nodes() {
+                assert_eq!(
+                    map.reachable(dest),
+                    minimal_path_exists(&mesh, s, dest, blocked),
+                    "{w}x{h} map {dest}"
+                );
+            }
         }
     }
 }

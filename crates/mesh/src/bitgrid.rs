@@ -1,0 +1,419 @@
+use crate::{Coord, Mesh};
+
+/// One bit per node of a [`Mesh`], packed row-major into `u64` words.
+///
+/// A `BitGrid` is the packed sibling of [`crate::Grid<bool>`]: each mesh row
+/// occupies `⌈width / 64⌉` consecutive words, bit `x mod 64` of word
+/// `x / 64` holds column `x`, and the unused tail bits of a row's last word
+/// are always zero. The layout makes the monotone-reachability recurrence
+/// word-parallel (64 columns per AND/OR/ADD — see `emr_fault::reach_bits`)
+/// and turns whole-row set operations into short word loops.
+///
+/// # Examples
+///
+/// ```
+/// use emr_mesh::{BitGrid, Coord, Mesh};
+///
+/// let mesh = Mesh::new(130, 3); // rows span three words
+/// let mut g = BitGrid::new(mesh);
+/// g.set(Coord::new(129, 2), true);
+/// assert_eq!(g.get(Coord::new(129, 2)), Some(true));
+/// assert_eq!(g.get(Coord::new(130, 2)), None); // outside the mesh
+/// assert_eq!(g.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGrid {
+    mesh: Mesh,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+/// Words needed for `len` bits.
+fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// A mask of the low `len mod 64` bits, or all ones when `len` fills its
+/// last word exactly.
+fn tail_mask(len: usize) -> u64 {
+    let rem = len % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+impl BitGrid {
+    /// Creates an all-zero grid over `mesh`.
+    pub fn new(mesh: Mesh) -> BitGrid {
+        let words_per_row = words_for(mesh.width() as usize);
+        BitGrid {
+            mesh,
+            words_per_row,
+            words: vec![0; words_per_row * mesh.height() as usize],
+        }
+    }
+
+    /// Builds a grid with the bit of every node for which `blocked`
+    /// returns true set (the packed form of an obstacle predicate).
+    pub fn from_blocked(mesh: Mesh, blocked: impl Fn(Coord) -> bool) -> BitGrid {
+        let mut grid = BitGrid::new(mesh);
+        grid.refill_from_blocked(mesh, blocked);
+        grid
+    }
+
+    /// Retargets this grid to `mesh` and repacks it from `blocked`,
+    /// reusing the existing allocation (the [`crate::Grid::reset`]
+    /// counterpart for scratch-buffer reuse).
+    pub fn refill_from_blocked(&mut self, mesh: Mesh, blocked: impl Fn(Coord) -> bool) {
+        self.reset(mesh);
+        let width = mesh.width() as usize;
+        for y in 0..mesh.height() {
+            let row = self.row_mut(y);
+            for (wi, word) in row.iter_mut().enumerate() {
+                let mut bits = 0u64;
+                let x0 = wi * 64;
+                for b in 0..64.min(width - x0) {
+                    // Row width fits i32 (mesh dimensions are i32), so the
+                    // sum stays in range.
+                    let x = i32::try_from(x0 + b).unwrap_or(i32::MAX);
+                    if blocked(Coord::new(x, y)) {
+                        bits |= 1u64 << b;
+                    }
+                }
+                *word = bits;
+            }
+        }
+    }
+
+    /// Retargets this grid to `mesh` with every bit cleared, reusing the
+    /// existing allocation when it is large enough.
+    pub fn reset(&mut self, mesh: Mesh) {
+        self.mesh = mesh;
+        self.words_per_row = words_for(mesh.width() as usize);
+        self.words.clear();
+        self.words
+            .resize(self.words_per_row * mesh.height() as usize, 0);
+    }
+
+    /// The mesh this grid covers.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The number of `u64` words backing one row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The bit at `c`, or `None` when `c` is outside the mesh.
+    pub fn get(&self, c: Coord) -> Option<bool> {
+        self.mesh.contains(c).then(|| {
+            let (wi, bit) = self.word_index(c);
+            self.words[wi] >> bit & 1 == 1
+        })
+    }
+
+    /// Sets the bit at `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh; use [`BitGrid::get`] for checked
+    /// reads.
+    pub fn set(&mut self, c: Coord, value: bool) {
+        assert!(self.mesh.contains(c), "{c} outside {:?}", self.mesh);
+        let (wi, bit) = self.word_index(c);
+        if value {
+            self.words[wi] |= 1u64 << bit;
+        } else {
+            self.words[wi] &= !(1u64 << bit);
+        }
+    }
+
+    /// Sets every node's bit to `value` (tail bits stay zero).
+    pub fn fill(&mut self, value: bool) {
+        if value {
+            let mask = tail_mask(self.mesh.width() as usize);
+            for y in 0..self.mesh.height() {
+                let last = self.words_per_row - 1;
+                let row = self.row_mut(y);
+                for w in row.iter_mut() {
+                    *w = u64::MAX;
+                }
+                row[last] &= mask;
+            }
+        } else {
+            self.words.fill(0);
+        }
+    }
+
+    /// The packed words of row `y`, bit `x mod 64` of word `x / 64` holding
+    /// column `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is outside the mesh.
+    pub fn row(&self, y: i32) -> &[u64] {
+        let start = self.row_start(y);
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Mutable access to the packed words of row `y`. Callers must keep
+    /// the row's unused tail bits zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is outside the mesh.
+    pub fn row_mut(&mut self, y: i32) -> &mut [u64] {
+        let start = self.row_start(y);
+        &mut self.words[start..start + self.words_per_row]
+    }
+
+    /// The number of set bits over the whole grid.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Copies the `len` bits at `(from.x .. from.x + len, from.y)` into
+    /// `dst`, bit `j` of `dst` holding column `from.x + j`. Columns outside
+    /// the mesh read as zero; `dst` bits at and beyond `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from.y` is outside the mesh, `len` is not positive, or
+    /// `dst` is shorter than `⌈len / 64⌉` words.
+    pub fn span_east(&self, from: Coord, len: i32, dst: &mut [u64]) {
+        self.span(from, len, dst, false);
+    }
+
+    /// Copies the `len` bits at `(from.x - len + 1 ..= from.x, from.y)`
+    /// into `dst` *in westward order*: bit `j` of `dst` holds column
+    /// `from.x - j`. Columns outside the mesh read as zero; `dst` bits at
+    /// and beyond `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from.y` is outside the mesh, `len` is not positive, or
+    /// `dst` is shorter than `⌈len / 64⌉` words.
+    pub fn span_west(&self, from: Coord, len: i32, dst: &mut [u64]) {
+        self.span(from, len, dst, true);
+    }
+
+    fn span(&self, from: Coord, len: i32, dst: &mut [u64], west: bool) {
+        assert!(len > 0, "span length must be positive");
+        let len = len as usize;
+        let n = words_for(len);
+        assert!(
+            (0..self.mesh.height()).contains(&from.y),
+            "row {} outside {:?}",
+            from.y,
+            self.mesh
+        );
+        assert!(dst.len() >= n, "span destination too short");
+        let mut offset = 0i64;
+        for slot in dst.iter_mut().take(n) {
+            // Word j of an eastward span covers source bits
+            // [from.x + 64j, from.x + 64j + 63]; a westward span reads the
+            // mirrored window [from.x - 64j - 63, from.x - 64j] and
+            // reverses it so bit order matches travel order.
+            *slot = if west {
+                self.word_at(from.y, i64::from(from.x) - offset - 63)
+                    .reverse_bits()
+            } else {
+                self.word_at(from.y, i64::from(from.x) + offset)
+            };
+            offset += 64;
+        }
+        dst[n - 1] &= tail_mask(len);
+        for slot in dst.iter_mut().skip(n) {
+            *slot = 0;
+        }
+    }
+
+    /// The 64 bits of row `y` starting at column `start` (which may be
+    /// negative or beyond the row; out-of-row columns read as zero).
+    fn word_at(&self, y: i32, start: i64) -> u64 {
+        let row = self.row(y);
+        let wi = start.div_euclid(64);
+        let sh = start.rem_euclid(64);
+        let pick = |k: i64| -> u64 {
+            usize::try_from(k)
+                .ok()
+                .and_then(|k| row.get(k))
+                .copied()
+                .unwrap_or(0)
+        };
+        let lo = pick(wi);
+        if sh == 0 {
+            lo
+        } else {
+            lo >> sh | pick(wi + 1) << (64 - sh)
+        }
+    }
+
+    fn row_start(&self, y: i32) -> usize {
+        assert!(
+            (0..self.mesh.height()).contains(&y),
+            "row {y} outside {:?}",
+            self.mesh
+        );
+        y as usize * self.words_per_row
+    }
+
+    fn word_index(&self, c: Coord) -> (usize, i32) {
+        (self.row_start(c.y) + c.x as usize / 64, c.x.rem_euclid(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reference span built bit by bit through `get`.
+    fn naive_span(g: &BitGrid, from: Coord, len: i32, west: bool) -> Vec<u64> {
+        let mut out = vec![0u64; (len as usize).div_ceil(64)];
+        for j in 0..len {
+            let x = if west { from.x - j } else { from.x + j };
+            if g.get(Coord::new(x, from.y)) == Some(true) {
+                out[j as usize / 64] |= 1u64 << (j % 64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mesh = Mesh::new(200, 3);
+        let mut g = BitGrid::new(mesh);
+        for x in [0, 1, 63, 64, 65, 127, 128, 199] {
+            g.set(Coord::new(x, 1), true);
+        }
+        for x in 0..200 {
+            let expect = [0, 1, 63, 64, 65, 127, 128, 199].contains(&x);
+            assert_eq!(g.get(Coord::new(x, 1)), Some(expect), "x={x}");
+            assert_eq!(g.get(Coord::new(x, 0)), Some(false));
+        }
+        assert_eq!(g.count_ones(), 8);
+        g.set(Coord::new(64, 1), false);
+        assert_eq!(g.get(Coord::new(64, 1)), Some(false));
+        assert_eq!(g.count_ones(), 7);
+    }
+
+    #[test]
+    fn get_outside_is_none() {
+        let g = BitGrid::new(Mesh::new(5, 4));
+        assert_eq!(g.get(Coord::new(5, 0)), None);
+        assert_eq!(g.get(Coord::new(0, 4)), None);
+        assert_eq!(g.get(Coord::new(-1, 2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn set_outside_panics() {
+        let mut g = BitGrid::new(Mesh::new(5, 4));
+        g.set(Coord::new(5, 0), true);
+    }
+
+    #[test]
+    fn from_blocked_matches_predicate() {
+        // Width 130 exercises a partial tail word.
+        let mesh = Mesh::new(130, 4);
+        let pred = |c: Coord| (c.x + 3 * c.y) % 7 == 0;
+        let g = BitGrid::from_blocked(mesh, pred);
+        for c in mesh.nodes() {
+            assert_eq!(g.get(c), Some(pred(c)), "{c}");
+        }
+        assert_eq!(g.count_ones(), mesh.nodes().filter(|&c| pred(c)).count());
+    }
+
+    #[test]
+    fn fill_keeps_tail_bits_clear() {
+        for width in [1, 63, 64, 65, 128, 130] {
+            let mesh = Mesh::new(width, 2);
+            let mut g = BitGrid::new(mesh);
+            g.fill(true);
+            assert_eq!(g.count_ones(), mesh.node_count(), "width {width}");
+            for c in mesh.nodes() {
+                assert_eq!(g.get(c), Some(true));
+            }
+            g.fill(false);
+            assert_eq!(g.count_ones(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_and_clears() {
+        let mut g = BitGrid::from_blocked(Mesh::new(70, 3), |_| true);
+        g.reset(Mesh::new(66, 2));
+        assert_eq!(g.mesh(), Mesh::new(66, 2));
+        assert_eq!(g.count_ones(), 0);
+        assert_eq!(g.words_per_row(), 2);
+        // Growing again still starts from zero.
+        g.reset(Mesh::new(129, 5));
+        assert_eq!(g.count_ones(), 0);
+        assert_eq!(g.words_per_row(), 3);
+    }
+
+    #[test]
+    fn row_slices_are_word_aligned() {
+        let mesh = Mesh::new(65, 3);
+        let mut g = BitGrid::new(mesh);
+        g.set(Coord::new(64, 1), true);
+        g.set(Coord::new(0, 2), true);
+        assert_eq!(g.row(0), &[0, 0]);
+        assert_eq!(g.row(1), &[0, 1]);
+        assert_eq!(g.row(2), &[1, 0]);
+        g.row_mut(0)[0] = 0b110;
+        assert_eq!(g.get(Coord::new(1, 0)), Some(true));
+        assert_eq!(g.get(Coord::new(2, 0)), Some(true));
+    }
+
+    #[test]
+    fn spans_match_naive_extraction() {
+        let mesh = Mesh::new(150, 3);
+        let g = BitGrid::from_blocked(mesh, |c| (c.x * 31 + c.y * 17) % 5 < 2);
+        let mut dst = vec![0u64; 3];
+        for &x0 in &[0, 1, 63, 64, 70, 149] {
+            for &len in &[1, 2, 63, 64, 65, 128, 150] {
+                let from = Coord::new(x0, 1);
+                g.span_east(from, len, &mut dst);
+                assert_eq!(
+                    dst[..(len as usize).div_ceil(64)],
+                    naive_span(&g, from, len, false),
+                    "east x0={x0} len={len}"
+                );
+                g.span_west(from, len, &mut dst);
+                assert_eq!(
+                    dst[..(len as usize).div_ceil(64)],
+                    naive_span(&g, from, len, true),
+                    "west x0={x0} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_read_zero_outside_the_mesh() {
+        let mesh = Mesh::new(10, 2);
+        let g = BitGrid::from_blocked(mesh, |_| true);
+        let mut dst = vec![u64::MAX; 2];
+        // Eastward span runs off the east edge: only 10 in-mesh columns.
+        g.span_east(Coord::new(0, 0), 64, &mut dst);
+        assert_eq!(dst[0], (1 << 10) - 1);
+        // Westward span runs off the west edge from column 3.
+        g.span_west(Coord::new(3, 1), 64, &mut dst);
+        assert_eq!(dst[0], 0b1111);
+        // And the tail words beyond the span are cleared.
+        g.span_east(Coord::new(0, 0), 10, &mut dst);
+        assert_eq!(dst[1], 0);
+    }
+
+    #[test]
+    fn span_clears_bits_beyond_len() {
+        let g = BitGrid::from_blocked(Mesh::new(100, 1), |_| true);
+        let mut dst = vec![u64::MAX; 2];
+        g.span_east(Coord::new(0, 0), 65, &mut dst);
+        assert_eq!(dst[1], 1, "bits past len must be cleared");
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`Rect`] — inclusive rectangles `[x_min..x_max, y_min..y_max]` used to
 //!   describe faulty blocks,
 //! * [`Grid`] — a dense per-node storage indexed by [`Coord`],
+//! * [`BitGrid`] — one bit per node, packed into `u64` words for the
+//!   word-parallel reachability kernels,
 //! * [`Quadrant`] and [`Frame`] — relative quadrants and the mirroring
 //!   transform that maps any source/destination pair onto the canonical
 //!   "destination in quadrant I" frame used throughout the paper,
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitgrid;
 mod coord;
 mod direction;
 mod frame;
@@ -42,6 +45,7 @@ mod path;
 mod quadrant;
 mod rect;
 
+pub use bitgrid::BitGrid;
 pub use coord::Coord;
 pub use direction::Direction;
 pub use frame::Frame;
