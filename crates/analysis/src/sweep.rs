@@ -168,11 +168,8 @@ impl<'a> TrialInput<'a> {
     /// `reach::minimal_path_exists(mesh, source, d, faults)` for every
     /// `d`, at O(1) per lookup after one build.
     pub fn reach(&self) -> &ReachMap {
-        self.reach.get_or_init(|| {
-            ReachMap::from_source(&self.scenario.mesh(), self.source, |c| {
-                self.scenario.faults().is_faulty(c)
-            })
-        })
+        self.reach
+            .get_or_init(|| ReachMap::from_packed(self.source, self.scenario.faults().packed()))
     }
 }
 

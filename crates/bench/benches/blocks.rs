@@ -35,5 +35,22 @@ fn bench_blocks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_blocks);
+/// The scalar ground-truth builds, kept benchmarked so the speedup of the
+/// default (bit-parallel) constructors above stays visible in one report.
+fn bench_scalar_builds(c: &mut Criterion) {
+    let sets = fault_sets();
+    let mut ws = Workspace::new();
+    let mut group = c.benchmark_group("block_construction_scalar");
+    for (k, faults) in &sets {
+        group.bench_with_input(BenchmarkId::new("definition1", k), faults, |b, f| {
+            b.iter(|| BlockMap::build_scalar_with(f, &mut ws));
+        });
+        group.bench_with_input(BenchmarkId::new("mcc_type_one", k), faults, |b, f| {
+            b.iter(|| MccMap::build_scalar_with(f, MccType::One, &mut ws));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks, bench_scalar_builds);
 criterion_main!(benches);

@@ -136,7 +136,7 @@ pub fn information_cost(cfg: &SweepConfig) -> SeriesTable {
             let engine = Engine::new(mesh);
             let (levels, esl_stats) = engine.run(&esl::EslFormation::new(blocked.clone()));
             let (marks, b_stats) = engine.run(&boundary::BoundaryPropagation::new(
-                sc.blocks().rects(),
+                sc.blocks().rects().to_vec(),
                 blocked.clone(),
             ));
             let mark_count: usize = mesh.nodes().map(|c| marks[c].len()).sum();

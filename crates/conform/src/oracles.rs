@@ -26,12 +26,14 @@ use serde::{Deserialize, Serialize};
 use emr_core::conditions::{StrategyKind, StrategyParams};
 use emr_core::{
     conditions, decide_local, route, DecisionCache, Ensured, Model, ModelView, RouteError,
-    Scenario, ScenarioState,
+    SafetyMap, Scenario, ScenarioState,
 };
 use emr_distsim::protocols::esl::{self, EslFormation};
 use emr_distsim::protocols::labeling::{BlockLabeling, BlockStatus, MccLabeling};
 use emr_distsim::Engine;
-use emr_fault::{coverage, reach, reach_bits, FaultSet, MccType, NodeState, ReachMap};
+use emr_fault::{
+    coverage, reach, reach_bits, BlockMap, FaultSet, MccMap, MccType, NodeState, ReachMap,
+};
 use emr_mesh::{Coord, Grid, Mesh};
 use emr_netsim::{NetSim, Packet, WuRouter};
 use rand::rngs::StdRng;
@@ -82,6 +84,27 @@ pub const ORACLES: &[Oracle] = &[
                 equal the scalar DP on every pair and node, for both the \
                 fault and block obstacle sets (ground truth: emr_fault::reach)",
         check: o_reach_bits_matches_dp,
+    },
+    Oracle {
+        name: "block-bits-matches-scalar",
+        claim: "the word-parallel Definition-1 block construction equals \
+                the scalar worklist build, map-for-map (ground truth: \
+                BlockMap::build_scalar)",
+        check: o_block_bits_matches_scalar,
+    },
+    Oracle {
+        name: "mcc-bits-matches-scalar",
+        claim: "the word-parallel Definition-2 label sweeps equal the \
+                scalar per-node sweeps for both MCC types (ground truth: \
+                MccMap::build_scalar)",
+        check: o_mcc_bits_matches_scalar,
+    },
+    Oracle {
+        name: "safety-bits-matches-scalar",
+        claim: "the packed run-length safety construction and the packed \
+                lane resweep equal the scalar ESL sweep for every obstacle \
+                map (ground truth: SafetyMap::compute)",
+        check: o_safety_bits_matches_scalar,
     },
     Oracle {
         name: "sufficient-implies-dp",
@@ -352,6 +375,129 @@ fn o_reach_bits_matches_dp(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violatio
     out
 }
 
+fn o_block_bits_matches_scalar(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let bits = sc.blocks(); // the default build runs the bit fix-point
+    let scalar = BlockMap::build_scalar(sc.faults());
+    for c in mesh.nodes() {
+        if bits.state(c) != scalar.state(c) {
+            out.push(violation(
+                "block-bits-matches-scalar",
+                format!(
+                    "node state at {c}: bit {:?}, scalar {:?}",
+                    bits.state(c),
+                    scalar.state(c)
+                ),
+            ));
+            return out; // the first node pinpoints it; the rest cascade
+        }
+    }
+    if *bits != scalar {
+        out.push(violation(
+            "block-bits-matches-scalar",
+            "node states agree but the maps differ (rects, per-block counts, \
+             or packed bits out of lock-step)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+fn o_mcc_bits_matches_scalar(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    for ty in MccType::ALL {
+        let bits = sc.mcc(ty); // the default build runs the bit sweeps
+        let scalar = MccMap::build_scalar(sc.faults(), ty);
+        let mut diverged = false;
+        for c in mesh.nodes() {
+            if bits.status(c) != scalar.status(c) {
+                out.push(violation(
+                    "mcc-bits-matches-scalar",
+                    format!(
+                        "[{ty:?}] status at {c}: bit {:?}, scalar {:?}",
+                        bits.status(c),
+                        scalar.status(c)
+                    ),
+                ));
+                diverged = true;
+                break;
+            }
+        }
+        if !diverged && *bits != scalar {
+            out.push(violation(
+                "mcc-bits-matches-scalar",
+                format!(
+                    "[{ty:?}] statuses agree but the maps differ (label planes, \
+                     components, or packed bits out of lock-step)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn o_safety_bits_matches_scalar(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    // From-scratch: every safety map the scenario serves is built by the
+    // packed kernel; each must equal the scalar ESL sweep over the same
+    // obstacle predicate.
+    let mut check = |label: String, bit_map: &SafetyMap, blocked: &dyn Fn(Coord) -> bool| {
+        let scalar = SafetyMap::compute(&Grid::from_fn(mesh, blocked));
+        for c in mesh.nodes() {
+            if bit_map.level(c) != scalar.level(c) {
+                out.push(violation(
+                    "safety-bits-matches-scalar",
+                    format!(
+                        "[{label}] level at {c}: bit {}, scalar {}",
+                        bit_map.level(c),
+                        scalar.level(c)
+                    ),
+                ));
+                return; // first node pinpoints the lane that diverged
+            }
+        }
+    };
+    check("blocks".to_string(), sc.block_safety_map(), &|c| {
+        sc.blocks().is_blocked(c)
+    });
+    for ty in MccType::ALL {
+        check(format!("mcc {ty:?}"), sc.mcc_safety_map(ty), &|c| {
+            sc.mcc(ty).is_blocked(c)
+        });
+    }
+    // Incremental: replaying the faults one at a time with the packed
+    // lane resweep must land on the same map as a from-scratch packed
+    // rebuild (and, transitively via the check above, the scalar sweep).
+    let mut blocks = BlockMap::build(&FaultSet::new(mesh));
+    let mut swept = SafetyMap::for_blocks(&blocks);
+    for &f in &spec.faults {
+        let rect = blocks.insert_fault(f);
+        swept.resweep_rect_packed(blocks.packed(), rect);
+    }
+    let rebuilt = SafetyMap::compute_packed(blocks.packed());
+    for c in mesh.nodes() {
+        if swept.level(c) != rebuilt.level(c) {
+            out.push(violation(
+                "safety-bits-matches-scalar",
+                format!(
+                    "[resweep] level at {c} after {} faults: swept {}, rebuilt {}",
+                    spec.faults.len(),
+                    swept.level(c),
+                    rebuilt.level(c)
+                ),
+            ));
+            break;
+        }
+    }
+    out
+}
+
 fn o_sufficient_implies_dp(spec: &ScenarioSpec, ctx: &CheckCtx) -> Vec<Violation> {
     let mut out = Vec::new();
     let sc = spec.scenario();
@@ -425,7 +571,7 @@ fn o_coverage_iff_dp(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
         if rects.iter().any(|r| r.contains(s) || r.contains(d)) {
             continue;
         }
-        let cov = coverage::minimal_path_exists_by_coverage(&rects, s, d);
+        let cov = coverage::minimal_path_exists_by_coverage(rects, s, d);
         let dp = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
         if cov != dp {
             out.push(violation(
@@ -633,7 +779,7 @@ fn o_state_matches_rebuild(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violatio
     let mut cache = DecisionCache::new();
     let mut prefix: Vec<Coord> = Vec::new();
     let sorted_rects = |s: &Scenario| {
-        let mut r = s.blocks().rects();
+        let mut r = s.blocks().rects().to_vec();
         r.sort_by_key(|r| (r.x_min(), r.y_min()));
         r
     };
@@ -802,7 +948,7 @@ fn pair_verdicts(sc: &Scenario, s: Coord, d: Coord) -> Vec<bool> {
     let rects = blocks.rects();
     let outside = !rects.iter().any(|r| r.contains(s) || r.contains(d));
     v.push(outside);
-    v.push(outside && coverage::minimal_path_exists_by_coverage(&rects, s, d));
+    v.push(outside && coverage::minimal_path_exists_by_coverage(rects, s, d));
     {
         let view = sc.view(Model::FaultBlock);
         v.push(conditions::safe_source(&view, s, d).is_some());

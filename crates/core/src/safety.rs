@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use emr_distsim::protocols::{esl, EslTuple};
 use emr_fault::workspace::{with_scratch, Workspace};
 use emr_fault::{BlockMap, MccMap};
-use emr_mesh::{Coord, Direction, Dist, Frame, Grid, Mesh, Rect, UNBOUNDED};
+use emr_mesh::{BitGrid, Coord, Direction, Dist, Frame, Grid, Mesh, Rect, UNBOUNDED};
 
 /// The **extended safety level** of a node: the 4-tuple `(E, S, W, N)` of
 /// hop distances to the closest faulty block (or MCC) in each direction
@@ -139,6 +139,43 @@ impl SafetyMap {
         }
     }
 
+    /// Computes the safety levels from a packed obstacle grid.
+    ///
+    /// Each direction entry is a run length along the node's own row or
+    /// column, so the kernel decodes the blocked positions of a packed
+    /// lane with trailing-zero counts and fills the gaps between
+    /// consecutive obstacles arithmetically — empty lanes (the common
+    /// case under sparse faults) cost one word scan and write nothing.
+    /// N/S lanes reuse the same row kernel over a 64×64 bit-transposed
+    /// copy of the grid. The scalar [`SafetyMap::compute`] stays the
+    /// ground truth; the `safety-bits-matches-scalar` conform oracle and
+    /// the in-crate differential tests pin the equivalence.
+    pub fn compute_packed(blocked: &BitGrid) -> SafetyMap {
+        with_scratch(|ws| SafetyMap::compute_packed_with(blocked, ws))
+    }
+
+    /// [`SafetyMap::compute_packed`] reusing a caller-owned scratch
+    /// [`Workspace`] for the transposed obstacle plane.
+    pub fn compute_packed_with(blocked: &BitGrid, ws: &mut Workspace) -> SafetyMap {
+        let mesh = blocked.mesh();
+        let mut levels = Grid::new(mesh, SafetyLevel::UNBOUNDED);
+        let width = usize::try_from(mesh.width()).unwrap_or(0);
+        {
+            let slice = levels.as_mut_slice();
+            for y in 0..mesh.height() {
+                let base = usize::try_from(y).unwrap_or(0) * width;
+                sweep_row_packed(blocked.row(y), &mut slice[base..base + width], true);
+            }
+            let transposed = &mut ws.bits_a;
+            blocked.transpose_into(transposed);
+            for x in 0..mesh.width() {
+                let xi = usize::try_from(x).unwrap_or(0);
+                sweep_col_packed(transposed.row(x), slice, xi, width, true);
+            }
+        }
+        SafetyMap { levels }
+    }
+
     /// Computes the safety levels under the faulty-block model.
     pub fn for_blocks(blocks: &BlockMap) -> SafetyMap {
         with_scratch(|ws| SafetyMap::for_blocks_with(blocks, ws))
@@ -146,7 +183,7 @@ impl SafetyMap {
 
     /// [`SafetyMap::for_blocks`] on a scratch [`Workspace`].
     pub fn for_blocks_with(blocks: &BlockMap, ws: &mut Workspace) -> SafetyMap {
-        Self::for_obstacles_with(blocks.mesh(), |c| blocks.is_blocked(c), ws)
+        SafetyMap::compute_packed_with(blocks.packed(), ws)
     }
 
     /// Computes the safety levels under one MCC labeling.
@@ -156,29 +193,7 @@ impl SafetyMap {
 
     /// [`SafetyMap::for_mcc`] on a scratch [`Workspace`].
     pub fn for_mcc_with(mcc: &MccMap, ws: &mut Workspace) -> SafetyMap {
-        Self::for_obstacles_with(mcc.mesh(), |c| mcc.is_blocked(c), ws)
-    }
-
-    /// Shared body of the model-specific constructors: materialize the
-    /// obstacle predicate into a scratch plane, then sweep.
-    fn for_obstacles_with(
-        mesh: Mesh,
-        is_blocked: impl Fn(Coord) -> bool,
-        ws: &mut Workspace,
-    ) -> SafetyMap {
-        let Workspace {
-            mark_a: blocked,
-            tuples,
-            ..
-        } = ws;
-        blocked.reset(mesh, false);
-        for c in mesh.nodes() {
-            blocked[c] = is_blocked(c);
-        }
-        esl::compute_global_into(blocked, tuples);
-        SafetyMap {
-            levels: tuples.map(|&t| SafetyLevel::from_tuple(t)),
-        }
+        SafetyMap::compute_packed_with(mcc.packed(), ws)
     }
 
     /// The mesh covered.
@@ -267,6 +282,150 @@ impl SafetyMap {
             }
         }
     }
+
+    /// [`SafetyMap::resweep_rect`] from a packed obstacle grid: the E/W
+    /// lanes of the changed rows come straight off the packed rows, the
+    /// N/S lanes off per-column bit gathers — no predicate calls. The
+    /// lane kernels run in overwrite mode, explicitly restoring `∞` on
+    /// blocked nodes and cleared run tails, so the result is
+    /// bit-identical to a from-scratch [`SafetyMap::compute_packed`].
+    ///
+    /// `packed` must be the *post-change* obstacle grid for the whole
+    /// mesh; `changed` must contain every flipped node.
+    pub fn resweep_rect_packed(&mut self, packed: &BitGrid, changed: Rect) {
+        let mesh = self.levels.mesh();
+        debug_assert_eq!(mesh, packed.mesh(), "packed grid covers another mesh");
+        let width = usize::try_from(mesh.width()).unwrap_or(0);
+        let slice = self.levels.as_mut_slice();
+        let y_lo = changed.y_min().max(0);
+        let y_hi = changed.y_max().min(mesh.height() - 1);
+        for y in y_lo..=y_hi {
+            let base = usize::try_from(y).unwrap_or(0) * width;
+            sweep_row_packed(packed.row(y), &mut slice[base..base + width], false);
+        }
+        let x_lo = changed.x_min().max(0);
+        let x_hi = changed.x_max().min(mesh.width() - 1);
+        with_scratch(|ws| {
+            let col = &mut ws.row_open;
+            col.clear();
+            col.resize(usize::try_from(mesh.height()).unwrap_or(0).div_ceil(64), 0);
+            for x in x_lo..=x_hi {
+                packed.column(x, col);
+                sweep_col_packed(col, slice, usize::try_from(x).unwrap_or(0), width, false);
+            }
+        });
+    }
+}
+
+/// A lane run length as a [`Dist`]; lanes are far shorter than `Dist`'s
+/// range, so the fallback is unreachable.
+fn lane_dist(n: usize) -> Dist {
+    Dist::try_from(n).unwrap_or(UNBOUNDED)
+}
+
+/// Calls `f(i)` for every set bit position of a packed lane, ascending.
+fn each_set_bit(lane: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word) in lane.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            f(wi * 64 + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Fills the East/West entries of one row from its packed obstacle bits:
+/// for each gap between consecutive obstacles, East counts down to the
+/// right obstacle and West up from the left one. With `virgin` set the
+/// levels are fresh `∞` fills and only finite entries are written; in
+/// overwrite mode (resweeps) every entry of the lane is written,
+/// including the `∞` of blocked nodes, head/tail segments, and fully
+/// clear lanes.
+fn sweep_row_packed(row: &[u64], lane: &mut [SafetyLevel], virgin: bool) {
+    let e = Direction::East.index();
+    let w = Direction::West.index();
+    let mut prev: Option<usize> = None;
+    each_set_bit(row, |p| {
+        let start = prev.map_or(0, |q| q + 1);
+        for (x, l) in lane.iter_mut().enumerate().take(p).skip(start) {
+            l.dists[e] = lane_dist(p - x);
+            match prev {
+                Some(q) => l.dists[w] = lane_dist(x - q),
+                None if !virgin => l.dists[w] = UNBOUNDED,
+                None => {}
+            }
+        }
+        if !virgin {
+            lane[p].dists[e] = UNBOUNDED;
+            lane[p].dists[w] = UNBOUNDED;
+        }
+        prev = Some(p);
+    });
+    match prev {
+        Some(q) => {
+            for (x, l) in lane.iter_mut().enumerate().skip(q + 1) {
+                l.dists[w] = lane_dist(x - q);
+                if !virgin {
+                    l.dists[e] = UNBOUNDED;
+                }
+            }
+        }
+        None if !virgin => {
+            for l in lane.iter_mut() {
+                l.dists[e] = UNBOUNDED;
+                l.dists[w] = UNBOUNDED;
+            }
+        }
+        None => {}
+    }
+}
+
+/// The column twin of [`sweep_row_packed`]: fills the North/South entries
+/// of column `x` from that column's packed bits (`col[i]` holds rows
+/// `64i..64i+63`), writing through the row-major `levels` slice with
+/// stride `width`.
+fn sweep_col_packed(col: &[u64], levels: &mut [SafetyLevel], x: usize, width: usize, virgin: bool) {
+    let n = Direction::North.index();
+    let s = Direction::South.index();
+    let height = levels.len() / width;
+    let mut prev: Option<usize> = None;
+    each_set_bit(col, |p| {
+        let start = prev.map_or(0, |q| q + 1);
+        for y in start..p {
+            let l = &mut levels[y * width + x];
+            l.dists[n] = lane_dist(p - y);
+            match prev {
+                Some(q) => l.dists[s] = lane_dist(y - q),
+                None if !virgin => l.dists[s] = UNBOUNDED,
+                None => {}
+            }
+        }
+        if !virgin {
+            let l = &mut levels[p * width + x];
+            l.dists[n] = UNBOUNDED;
+            l.dists[s] = UNBOUNDED;
+        }
+        prev = Some(p);
+    });
+    match prev {
+        Some(q) => {
+            for y in q + 1..height {
+                let l = &mut levels[y * width + x];
+                l.dists[s] = lane_dist(y - q);
+                if !virgin {
+                    l.dists[n] = UNBOUNDED;
+                }
+            }
+        }
+        None if !virgin => {
+            for y in 0..height {
+                let l = &mut levels[y * width + x];
+                l.dists[n] = UNBOUNDED;
+                l.dists[s] = UNBOUNDED;
+            }
+        }
+        None => {}
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +503,62 @@ mod tests {
                     let rect = blocks.insert_fault(c);
                     map.resweep_rect(|v| blocks.is_blocked(v), rect);
                     let full = SafetyMap::for_blocks(&blocks);
+                    assert_eq!(map, full, "{w}x{h} seed {seed} after {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_compute_matches_scalar() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Word-boundary shapes and edge densities, plus a fully-blocked
+        // middle row: the bit kernel must equal the scalar ESL sweep
+        // everywhere, including blocked nodes (all-∞) and clear lanes.
+        let shapes = [(8, 8), (65, 3), (63, 4), (1, 9), (9, 1), (130, 2)];
+        for seed in 0..12u64 {
+            let (w, h) = shapes[seed as usize % shapes.len()];
+            let mesh = Mesh::new(w, h);
+            let mut rng = StdRng::seed_from_u64(0x5AFE + seed);
+            let density = [0.0, 0.1, 0.5][seed as usize % 3];
+            let mut blocked = Grid::new(mesh, false);
+            for c in mesh.nodes() {
+                if rng.gen_bool(density) {
+                    blocked[c] = true;
+                }
+            }
+            if seed % 4 == 3 {
+                for x in 0..w {
+                    blocked[Coord::new(x, h / 2)] = true;
+                }
+            }
+            let packed = BitGrid::from_blocked(mesh, |c| blocked[c]);
+            assert_eq!(
+                SafetyMap::compute_packed(&packed),
+                SafetyMap::compute(&blocked),
+                "{w}x{h} seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_resweep_matches_full_recompute() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (w, h) in [(8, 8), (1, 9), (11, 3), (70, 2)] {
+            let mesh = Mesh::new(w, h);
+            for seed in 0..10u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut blocks = BlockMap::build(&FaultSet::new(mesh));
+                let mut map = SafetyMap::for_blocks(&blocks);
+                for _ in 0..(w * h / 5).clamp(2, 12) {
+                    let c = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+                    let rect = blocks.insert_fault(c);
+                    map.resweep_rect_packed(blocks.packed(), rect);
+                    // Compare against the scalar path, keeping the check
+                    // independent of the packed builder under test.
+                    let full = SafetyMap::compute(&Grid::from_fn(mesh, |v| blocks.is_blocked(v)));
                     assert_eq!(map, full, "{w}x{h} seed {seed} after {c}");
                 }
             }

@@ -120,7 +120,7 @@ impl Scenario {
         } = self;
         let block_rect = blocks.insert_fault(c);
         if let Some(map) = block_safety.get_mut() {
-            map.resweep_rect(|v| blocks.is_blocked(v), block_rect);
+            map.resweep_rect_packed(blocks.packed(), block_rect);
         }
         let mut mcc_rects = [None, None];
         for (i, lock) in mcc.iter_mut().enumerate() {
@@ -133,7 +133,7 @@ impl Scenario {
                 let m = mcc[i]
                     .get()
                     .expect("MCC map initialized before its safety map");
-                map.resweep_rect(|v| m.is_blocked(v), rect);
+                map.resweep_rect_packed(m.packed(), rect);
             }
         }
         Some(FaultDelta {
@@ -202,14 +202,14 @@ impl Scenario {
     fn block_boundary_map(&self) -> BoundaryMap {
         let mesh = self.mesh();
         let blocked = Grid::from_fn(mesh, |c| self.blocks.is_blocked(c));
-        BoundaryMap::compute(&mesh, &self.blocks.rects(), &blocked)
+        BoundaryMap::compute(&mesh, self.blocks.rects(), &blocked)
     }
 
     pub(crate) fn mcc_boundary_map(&self, ty: MccType) -> BoundaryMap {
         let mesh = self.mesh();
         let mcc = self.mcc(ty);
         let blocked = Grid::from_fn(mesh, |c| mcc.is_blocked(c));
-        BoundaryMap::compute(&mesh, &mcc.rects(), &blocked)
+        BoundaryMap::compute(&mesh, mcc.rects(), &blocked)
     }
 }
 
@@ -277,8 +277,9 @@ impl<'a> ModelView<'a> {
         }
     }
 
-    /// The obstacle bounding rectangles relevant to routes from `s` to `d`.
-    pub fn rects_for(&self, s: Coord, d: Coord) -> Vec<Rect> {
+    /// The obstacle bounding rectangles relevant to routes from `s` to
+    /// `d` — borrowed from the model's cache, no per-call allocation.
+    pub fn rects_for(&self, s: Coord, d: Coord) -> &'a [Rect] {
         match self.model {
             Model::FaultBlock => self.scenario.blocks.rects(),
             Model::Mcc => self.scenario.mcc(MccType::for_route(s, d)).rects(),

@@ -51,7 +51,7 @@ fn assert_state_matches_rebuild(state: &ScenarioState, ctx: &str) {
     // Block rect sets match (order-insensitive: incremental discovery
     // order differs from the rebuild's row-major order).
     let sorted_rects = |s: &Scenario| {
-        let mut r = s.blocks().rects();
+        let mut r = s.blocks().rects().to_vec();
         r.sort_by_key(|r| (r.x_min(), r.y_min()));
         r
     };

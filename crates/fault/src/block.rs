@@ -2,8 +2,9 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{Coord, Direction, Grid, Mesh, Rect};
+use emr_mesh::{BitGrid, Coord, Direction, Grid, Mesh, Rect};
 
+use crate::block_bits;
 use crate::workspace::{with_scratch, Workspace};
 use crate::FaultSet;
 
@@ -76,7 +77,14 @@ impl FaultyBlock {
 pub struct BlockMap {
     mesh: Mesh,
     state: Grid<NodeState>,
+    /// The blocked (faulty ∪ disabled) bits, kept in lock-step with
+    /// `state`. Downstream word-parallel passes (safety levels, the
+    /// reachability sweeps) consume this directly.
+    packed: BitGrid,
     blocks: Vec<FaultyBlock>,
+    /// The block rectangles, cached in `blocks` order so hot loops can
+    /// borrow them without a per-call allocation.
+    rects: Vec<Rect>,
 }
 
 impl BlockMap {
@@ -86,14 +94,71 @@ impl BlockMap {
     /// disabled neighbor along X *and* one along Y ("two or more disabled or
     /// faulty neighbors in different dimensions"). Off-mesh positions count
     /// as healthy.
+    ///
+    /// Runs the word-parallel fix-point of [`crate::block_bits`]; the
+    /// scalar worklist survives as [`BlockMap::build_scalar`], the
+    /// differential anchor (`conform` oracle `block-bits-matches-scalar`
+    /// pins the equivalence).
     pub fn build(faults: &FaultSet) -> BlockMap {
         with_scratch(|ws| BlockMap::build_with(faults, ws))
     }
 
     /// [`BlockMap::build`] reusing a caller-owned scratch [`Workspace`]
-    /// for the worklist and component-extraction buffers (the per-node
-    /// state grid is part of the returned map and always allocated).
+    /// for the fix-point row buffers (the per-node state grid is part of
+    /// the returned map and always allocated).
     pub fn build_with(faults: &FaultSet, ws: &mut Workspace) -> BlockMap {
+        let mesh = faults.mesh();
+        let mut packed = faults.packed().clone();
+        block_bits::disable_fixpoint(&mut packed, &mut ws.row_open, &mut ws.row_cur);
+
+        // Decode the packed labeling into the per-node state grid:
+        // blocked bits are Disabled unless genuinely faulty.
+        let mut state = Grid::new(mesh, NodeState::Enabled);
+        let width = mesh.width() as usize;
+        {
+            let cells = state.as_mut_slice();
+            for y in 0..mesh.height() {
+                let base = y as usize * width;
+                block_bits::for_each_set_bit(packed.row(y), |x| {
+                    cells[base + x] = NodeState::Disabled;
+                });
+                block_bits::for_each_set_bit(faults.packed().row(y), |x| {
+                    cells[base + x] = NodeState::Faulty;
+                });
+            }
+        }
+
+        let blocks: Vec<FaultyBlock> = block_bits::extract_rects(&packed, faults.packed())
+            .into_iter()
+            .map(|(rect, faulty_nodes, disabled_nodes)| FaultyBlock {
+                rect,
+                faulty_nodes,
+                disabled_nodes,
+            })
+            .collect();
+        let rects = blocks.iter().map(|b| b.rect).collect();
+        let map = BlockMap {
+            mesh,
+            state,
+            packed,
+            blocks,
+            rects,
+        };
+        debug_assert!(map.rect_invariant_holds());
+        map
+    }
+
+    /// The original per-node worklist fix-point — the ground truth the
+    /// word-parallel [`BlockMap::build`] is differentially tested
+    /// against. Produces a structurally identical map (same states, same
+    /// blocks in the same order).
+    pub fn build_scalar(faults: &FaultSet) -> BlockMap {
+        with_scratch(|ws| BlockMap::build_scalar_with(faults, ws))
+    }
+
+    /// [`BlockMap::build_scalar`] reusing a caller-owned scratch
+    /// [`Workspace`] for the worklist and component-extraction buffers.
+    pub fn build_scalar_with(faults: &FaultSet, ws: &mut Workspace) -> BlockMap {
         let mesh = faults.mesh();
         let mut state = Grid::from_fn(mesh, |c| {
             if faults.is_faulty(c) {
@@ -122,10 +187,14 @@ impl BlockMap {
         }
 
         let blocks = extract_blocks(mesh, &state, ws);
+        let packed = BitGrid::from_blocked(mesh, |c| state[c].is_blocked());
+        let rects = blocks.iter().map(|b| b.rect).collect();
         let map = BlockMap {
             mesh,
             state,
+            packed,
             blocks,
+            rects,
         };
         debug_assert!(map.rect_invariant_holds());
         map
@@ -155,9 +224,17 @@ impl BlockMap {
         &self.blocks
     }
 
-    /// The block rectangles only (the representation routing code consumes).
-    pub fn rects(&self) -> Vec<Rect> {
-        self.blocks.iter().map(|b| b.rect()).collect()
+    /// The block rectangles only (the representation routing code
+    /// consumes), cached in [`BlockMap::blocks`] order — no per-call
+    /// allocation.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The blocked (faulty ∪ disabled) nodes as a packed bit grid — the
+    /// input the word-parallel safety and reachability passes start from.
+    pub fn packed(&self) -> &BitGrid {
+        &self.packed
     }
 
     /// The block containing `c`, if any.
@@ -196,6 +273,7 @@ impl BlockMap {
                 .rect();
         }
         self.state[c] = NodeState::Faulty;
+        self.packed.set(c, true);
 
         // Re-run the Definition 1 worklist from the disturbance.
         let mut queue: VecDeque<Coord> = self.mesh.neighbors(c).collect();
@@ -208,6 +286,7 @@ impl BlockMap {
             let y_blocked = blocked(u.step(Direction::North)) || blocked(u.step(Direction::South));
             if x_blocked && y_blocked {
                 self.state[u] = NodeState::Disabled;
+                self.packed.set(u, true);
                 queue.extend(self.mesh.neighbors(u));
             }
         }
@@ -239,6 +318,8 @@ impl BlockMap {
             faulty_nodes,
             disabled_nodes,
         });
+        self.rects.clear();
+        self.rects.extend(self.blocks.iter().map(|b| b.rect));
         debug_assert!(self.rect_invariant_holds());
         rect
     }
@@ -255,7 +336,15 @@ impl BlockMap {
             let total_blocked = self.state.count(|s| s.is_blocked());
             let in_rects: usize = self.blocks.iter().map(|b| b.rect().node_count()).sum();
             total_blocked == in_rects
-        }
+        } && self
+            .mesh
+            .nodes()
+            .all(|c| self.packed.get(c) == Some(self.state[c].is_blocked()))
+            && self
+                .rects
+                .iter()
+                .copied()
+                .eq(self.blocks.iter().map(|b| b.rect))
     }
 }
 
@@ -426,8 +515,8 @@ mod tests {
                 assert_eq!(incremental.state(n), rebuilt.state(n), "after {c} at {n}");
             }
             // …and the same block set (order-insensitive).
-            let mut a = incremental.rects();
-            let mut b = rebuilt.rects();
+            let mut a = incremental.rects().to_vec();
+            let mut b = rebuilt.rects().to_vec();
             a.sort_by_key(|r| (r.x_min(), r.y_min()));
             b.sort_by_key(|r| (r.x_min(), r.y_min()));
             assert_eq!(a, b, "after {c}");
@@ -437,6 +526,39 @@ mod tests {
                 "after {c}"
             );
             assert!(incremental.rect_invariant_holds());
+        }
+    }
+
+    #[test]
+    fn bit_build_matches_scalar_on_random_and_edge_densities() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Random fills at 0%, ~10%, ~50%, plus fully faulty rows — the
+        // carry/fix-point edge cases — across word-boundary widths and
+        // degenerate meshes.
+        let shapes = [(16, 16), (65, 3), (63, 4), (1, 9), (9, 1), (128, 2)];
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for &(w, h) in &shapes {
+                let mesh = Mesh::new(w, h);
+                let density = [0.0, 0.1, 0.5][seed as usize % 3];
+                let mut faults = FaultSet::new(mesh);
+                for c in mesh.nodes() {
+                    if rng.gen_bool(density) {
+                        faults.insert(c);
+                    }
+                }
+                if seed % 4 == 3 && h > 1 {
+                    // A fully faulty row seals the mesh in two.
+                    for x in 0..w {
+                        faults.insert(Coord::new(x, h / 2));
+                    }
+                }
+                let bits = BlockMap::build(&faults);
+                let scalar = BlockMap::build_scalar(&faults);
+                assert_eq!(bits, scalar, "seed {seed} {w}x{h}");
+                assert!(bits.rect_invariant_holds());
+            }
         }
     }
 

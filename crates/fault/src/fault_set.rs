@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{Coord, Grid, Mesh};
+use emr_mesh::{BitGrid, Coord, Grid, Mesh};
 
 /// A set of faulty nodes in a mesh.
 ///
@@ -23,6 +23,7 @@ use emr_mesh::{Coord, Grid, Mesh};
 pub struct FaultSet {
     mesh: Mesh,
     faulty: Grid<bool>,
+    packed: BitGrid,
     list: Vec<Coord>,
 }
 
@@ -32,6 +33,7 @@ impl FaultSet {
         FaultSet {
             mesh,
             faulty: Grid::new(mesh, false),
+            packed: BitGrid::new(mesh),
             list: Vec::new(),
         }
     }
@@ -66,8 +68,17 @@ impl FaultSet {
             return false;
         }
         self.faulty[c] = true;
+        self.packed.set(c, true);
         self.list.push(c);
         true
+    }
+
+    /// The faults as a packed bit grid (bit set ⟺ faulty), maintained on
+    /// every insert. The word-parallel construction kernels and
+    /// [`crate::reach_bits::ReachMap::from_packed`] start from this grid
+    /// directly, skipping any per-node repacking.
+    pub fn packed(&self) -> &BitGrid {
+        &self.packed
     }
 
     /// Whether `c` is faulty. Coordinates outside the mesh are never faulty.
@@ -133,6 +144,24 @@ mod tests {
         let set = FaultSet::from_coords(mesh, coords);
         let seen: Vec<Coord> = set.iter().collect();
         assert_eq!(seen, coords);
+    }
+
+    #[test]
+    fn packed_mirrors_membership() {
+        let mesh = Mesh::new(70, 3);
+        let set = FaultSet::from_coords(
+            mesh,
+            [
+                Coord::new(0, 0),
+                Coord::new(63, 1),
+                Coord::new(64, 1),
+                Coord::new(69, 2),
+            ],
+        );
+        for c in mesh.nodes() {
+            assert_eq!(set.packed().get(c), Some(set.is_faulty(c)), "{c}");
+        }
+        assert_eq!(set.packed().count_ones(), set.len());
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! the block-formation and safety machinery harder than the paper's
 //! scattered faults do).
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 use emr_mesh::{Coord, Mesh};
@@ -18,17 +17,68 @@ use crate::FaultSet;
 /// node in `forbidden` (typically the source, which the paper assumes to be
 /// outside every faulty block).
 ///
+/// Draws the exact RNG stream and selection a partial Fisher–Yates over
+/// the materialized eligible list would (`uniform_matches_dense_selection`
+/// pins this), but sparsely: the sweep engine calls this once per trial,
+/// and building the O(mesh) eligible and index tables dominated trial
+/// setup. Only the O(count) touched swap entries are stored instead.
+///
 /// # Panics
 ///
 /// Panics if `count` exceeds the number of eligible nodes.
 pub fn uniform(mesh: Mesh, count: usize, forbidden: &[Coord], rng: &mut impl Rng) -> FaultSet {
-    let eligible: Vec<Coord> = mesh.nodes().filter(|c| !forbidden.contains(c)).collect();
+    // Ascending node indices of the excluded nodes (off-mesh entries never
+    // matched the eligible filter, duplicates removed by the dedup).
+    let mut fidx: Vec<usize> = forbidden
+        .iter()
+        .filter(|c| mesh.contains(**c))
+        .map(|&c| mesh.index_of(c))
+        .collect();
+    fidx.sort_unstable();
+    fidx.dedup();
+    let eligible = mesh.node_count() - fidx.len();
     assert!(
-        count <= eligible.len(),
-        "cannot place {count} faults among {} eligible nodes",
-        eligible.len()
+        count <= eligible,
+        "cannot place {count} faults among {eligible} eligible nodes"
     );
-    let chosen = eligible.choose_multiple(rng, count).copied();
+    // Partial Fisher–Yates over the virtual identity table 0..eligible;
+    // `touched` holds only the entries that differ from the identity.
+    let mut touched: Vec<(usize, usize)> = Vec::with_capacity(2 * count);
+    let lookup = |touched: &[(usize, usize)], p: usize| {
+        touched
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map_or(p, |&(_, v)| v)
+    };
+    let set = |touched: &mut Vec<(usize, usize)>, p: usize, v: usize| match touched
+        .iter_mut()
+        .find(|(q, _)| *q == p)
+    {
+        Some(entry) => entry.1 = v,
+        None => touched.push((p, v)),
+    };
+    let width = usize::try_from(mesh.width()).unwrap_or(1);
+    let chosen = (0..count).map(|i| {
+        let j = i + (rng.next_u64() as usize) % (eligible - i);
+        let vi = lookup(&touched, i);
+        let vj = lookup(&touched, j);
+        set(&mut touched, i, vj);
+        set(&mut touched, j, vi);
+        // The picked eligible rank, mapped to a node index by re-inserting
+        // the excluded slots below it.
+        let mut ni = vj;
+        for &f in &fidx {
+            if f <= ni {
+                ni += 1;
+            } else {
+                break;
+            }
+        }
+        Coord::new(
+            i32::try_from(ni % width).unwrap_or(i32::MAX),
+            i32::try_from(ni / width).unwrap_or(i32::MAX),
+        )
+    });
     FaultSet::from_coords(mesh, chosen)
 }
 
@@ -98,6 +148,7 @@ fn sample_offset(spread: f64, rng: &mut impl Rng) -> i32 {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     #[test]
@@ -137,6 +188,36 @@ mod tests {
     fn uniform_rejects_oversized_requests() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = uniform(Mesh::square(2), 5, &[], &mut rng);
+    }
+
+    #[test]
+    fn uniform_matches_dense_selection() {
+        // The sparse Fisher–Yates must reproduce the old dense
+        // implementation draw for draw: same seed, same fault set —
+        // every seeded experiment in the repo depends on this.
+        let dense = |mesh: Mesh, count: usize, forbidden: &[Coord], rng: &mut StdRng| {
+            let eligible: Vec<Coord> = mesh.nodes().filter(|c| !forbidden.contains(c)).collect();
+            let chosen = eligible.choose_multiple(rng, count).copied();
+            FaultSet::from_coords(mesh, chosen)
+        };
+        let center = Mesh::square(17).center();
+        let cases: &[(Mesh, usize, &[Coord])] = &[
+            (Mesh::square(17), 0, &[]),
+            (Mesh::square(17), 25, &[]),
+            (Mesh::square(17), 25, &[center]),
+            (Mesh::new(1, 40), 10, &[Coord::new(0, 0), Coord::new(0, 39)]),
+            (Mesh::new(40, 1), 39, &[Coord::new(5, 0)]),
+            (Mesh::square(4), 15, &[Coord::new(2, 2)]),
+        ];
+        for &(mesh, count, forbidden) in cases {
+            for seed in 0..20u64 {
+                let a = uniform(mesh, count, forbidden, &mut StdRng::seed_from_u64(seed));
+                let b = dense(mesh, count, forbidden, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(a, b, "{mesh:?} count {count} seed {seed}");
+                assert_eq!(a.len(), count);
+                assert!(forbidden.iter().all(|&c| !a.is_faulty(c)));
+            }
+        }
     }
 
     #[test]

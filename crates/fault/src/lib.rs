@@ -44,10 +44,12 @@
 #![warn(missing_docs)]
 
 mod block;
+mod block_bits;
 pub mod coverage;
 mod fault_set;
 pub mod inject;
 mod mcc;
+mod mcc_bits;
 pub mod reach;
 pub mod reach_bits;
 pub mod workspace;

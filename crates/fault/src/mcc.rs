@@ -1,9 +1,9 @@
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{Coord, Direction, Grid, Mesh, Quadrant, Rect};
+use emr_mesh::{BitGrid, Coord, Direction, Grid, Mesh, Quadrant, Rect};
 
 use crate::workspace::{with_scratch, Workspace};
-use crate::FaultSet;
+use crate::{block_bits, mcc_bits, FaultSet};
 
 /// Which pair of routing quadrants an MCC labeling serves.
 ///
@@ -113,7 +113,13 @@ pub struct MccMap {
     mesh: Mesh,
     ty: MccType,
     status: Grid<MccStatus>,
+    /// The blocked (faulty ∪ useless ∪ can't-reach) bits, kept in
+    /// lock-step with `status` for the word-parallel downstream passes.
+    packed: BitGrid,
     components: Vec<Mcc>,
+    /// Component bounding rectangles cached in `components` order, so hot
+    /// loops can borrow them without a per-call allocation.
+    rects: Vec<Rect>,
     // The two label planes of Definition 2, kept alongside `status`
     // because a node can carry *both* labels while `status` only shows
     // the higher-priority one (faulty > useless > can't-reach). The
@@ -150,13 +156,86 @@ impl MccMap {
     /// fault-free, per the definition's literal reading; this keeps the
     /// labeling exact for minimal routing (property-tested against the
     /// monotone-reachability oracle).
+    /// Runs the word-parallel sweeps of [`crate::mcc_bits`]; the scalar
+    /// per-node sweep survives as [`MccMap::build_scalar`], the
+    /// differential anchor (`conform` oracle `mcc-bits-matches-scalar`
+    /// pins the equivalence).
     pub fn build(faults: &FaultSet, ty: MccType) -> MccMap {
         with_scratch(|ws| MccMap::build_with(faults, ty, ws))
     }
 
     /// [`MccMap::build`] reusing a caller-owned scratch [`Workspace`] for
-    /// the three labeling planes and the component-extraction buffers.
+    /// the packed label planes and the component-extraction buffers.
     pub fn build_with(faults: &FaultSet, ty: MccType, ws: &mut Workspace) -> MccMap {
+        let mesh = faults.mesh();
+        let (fwd, bwd) = type_dirs(ty);
+
+        let mut status = Grid::new(mesh, MccStatus::FaultFree);
+        let mut useless = Grid::new(mesh, false);
+        let mut cant_reach = Grid::new(mesh, false);
+        let mut packed = faults.packed().clone();
+        {
+            let Workspace {
+                bits_a,
+                bits_b,
+                row_open,
+                row_cur,
+                ..
+            } = ws;
+            mcc_bits::label_plane(faults.packed(), fwd, bits_a, row_open, row_cur);
+            mcc_bits::label_plane(faults.packed(), bwd, bits_b, row_open, row_cur);
+
+            // Decode the packed planes. Write order encodes the status
+            // priority: faulty > useless > can't-reach.
+            let width = mesh.width() as usize;
+            let st = status.as_mut_slice();
+            let ul = useless.as_mut_slice();
+            let cr = cant_reach.as_mut_slice();
+            for y in 0..mesh.height() {
+                let base = y as usize * width;
+                block_bits::for_each_set_bit(bits_b.row(y), |x| {
+                    cr[base + x] = true;
+                    st[base + x] = MccStatus::CantReach;
+                });
+                block_bits::for_each_set_bit(bits_a.row(y), |x| {
+                    ul[base + x] = true;
+                    st[base + x] = MccStatus::Useless;
+                });
+                block_bits::for_each_set_bit(faults.packed().row(y), |x| {
+                    st[base + x] = MccStatus::Faulty;
+                });
+                let packed_row = packed.row_mut(y);
+                for (i, w) in packed_row.iter_mut().enumerate() {
+                    *w |= bits_a.row(y)[i] | bits_b.row(y)[i];
+                }
+            }
+        }
+
+        let components = extract_components(mesh, &status, ws);
+        let rects = components.iter().map(|m| m.rect).collect();
+        MccMap {
+            mesh,
+            ty,
+            status,
+            packed,
+            components,
+            rects,
+            useless,
+            cant_reach,
+        }
+    }
+
+    /// The original per-node sweep — the ground truth the word-parallel
+    /// [`MccMap::build`] is differentially tested against. Produces a
+    /// structurally identical map.
+    pub fn build_scalar(faults: &FaultSet, ty: MccType) -> MccMap {
+        with_scratch(|ws| MccMap::build_scalar_with(faults, ty, ws))
+    }
+
+    /// [`MccMap::build_scalar`] reusing a caller-owned scratch
+    /// [`Workspace`] for the three labeling planes and the
+    /// component-extraction buffers.
+    pub fn build_scalar_with(faults: &FaultSet, ty: MccType, ws: &mut Workspace) -> MccMap {
         let mesh = faults.mesh();
         let (fwd, bwd) = type_dirs(ty);
 
@@ -188,11 +267,15 @@ impl MccMap {
         let useless_plane = ws.mark_b.clone();
         let cant_reach_plane = ws.mark_c.clone();
         let components = extract_components(mesh, &status, ws);
+        let packed = BitGrid::from_blocked(mesh, |c| status[c].is_blocked());
+        let rects = components.iter().map(|m| m.rect).collect();
         MccMap {
             mesh,
             ty,
             status,
+            packed,
             components,
+            rects,
             useless: useless_plane,
             cant_reach: cant_reach_plane,
         }
@@ -230,9 +313,16 @@ impl MccMap {
         &self.components
     }
 
-    /// Bounding rectangles of all components.
-    pub fn rects(&self) -> Vec<Rect> {
-        self.components.iter().map(|m| m.rect()).collect()
+    /// Bounding rectangles of all components, cached in
+    /// [`MccMap::components`] order — no per-call allocation.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The MCC-blocked nodes as a packed bit grid — the input the
+    /// word-parallel safety pass starts from.
+    pub fn packed(&self) -> &BitGrid {
+        &self.packed
     }
 
     /// The total number of healthy nodes swallowed by MCCs.
@@ -267,13 +357,16 @@ impl MccMap {
             mesh,
             ty,
             status,
+            packed,
             components,
+            rects,
             useless,
             cant_reach,
         } = self;
         let mesh = *mesh;
         let was_blocked = status[c].is_blocked();
         status[c] = MccStatus::Faulty;
+        packed.set(c, true);
         useless[c] = false;
         cant_reach[c] = false;
         let mut changed: Option<Rect> = (!was_blocked).then(|| Rect::point(c));
@@ -291,11 +384,13 @@ impl MccMap {
             }
             // Useless outranks can't-reach in the status projection.
             status[u] = MccStatus::Useless;
+            packed.set(u, true);
         }
         for u in relabel_from(mesh, status, cant_reach, bwd, c) {
             if !status[u].is_blocked() {
                 grow(&mut changed, u);
                 status[u] = MccStatus::CantReach;
+                packed.set(u, true);
             }
         }
 
@@ -329,6 +424,8 @@ impl MccMap {
             faulty_nodes,
             disabled_nodes,
         });
+        rects.clear();
+        rects.extend(components.iter().map(|m| m.rect));
         changed
     }
 }
@@ -668,6 +765,41 @@ mod tests {
                         &format!("{w}x{h} seed {seed} {ty:?}"),
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_build_matches_scalar_on_random_and_edge_densities() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Mirror of the block-map differential test: random densities
+        // (including 0% and ~50%) plus fully-faulty middle rows, across
+        // word-boundary-straddling and degenerate shapes. Full struct
+        // equality pins status, both label planes, packed bits,
+        // components, and rect order.
+        let shapes = [(16, 16), (65, 3), (63, 4), (1, 9), (9, 1), (128, 2)];
+        for seed in 0..12u64 {
+            let (w, h) = shapes[seed as usize % shapes.len()];
+            let mesh = Mesh::new(w, h);
+            let mut rng = StdRng::seed_from_u64(0xA11C + seed);
+            let density = [0.0, 0.1, 0.5][seed as usize % 3];
+            let mut f = FaultSet::new(mesh);
+            for c in mesh.nodes() {
+                if rng.gen_bool(density) {
+                    f.insert(c);
+                }
+            }
+            if seed % 4 == 3 {
+                let y = h / 2;
+                for x in 0..w {
+                    f.insert(Coord::new(x, y));
+                }
+            }
+            for ty in MccType::ALL {
+                let bits = MccMap::build(&f, ty);
+                let scalar = MccMap::build_scalar(&f, ty);
+                assert_eq!(bits, scalar, "{w}x{h} seed {seed} {ty:?}");
             }
         }
     }

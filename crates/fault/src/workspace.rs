@@ -55,6 +55,11 @@ pub struct Workspace {
     pub tuples: Grid<LevelTuple>,
     /// Packed obstacle bits for the word-parallel reachability kernels.
     pub packed: BitGrid,
+    /// First packed label plane for the construction kernels (the MCC
+    /// "useless" bits, the safety sweeps' transposed obstacle grid).
+    pub bits_a: BitGrid,
+    /// Second packed label plane (the MCC "can't-reach" bits).
+    pub bits_b: BitGrid,
     /// Packed open-mask row for [`crate::reach_bits::reach_row`].
     pub row_open: Vec<u64>,
     /// Packed reach-bits row carried between [`crate::reach_bits`] rows.
@@ -76,6 +81,8 @@ impl Workspace {
             table: Grid::new(unit, false),
             tuples: Grid::new(unit, [0; 4]),
             packed: BitGrid::new(unit),
+            bits_a: BitGrid::new(unit),
+            bits_b: BitGrid::new(unit),
             row_open: Vec::new(),
             row_cur: Vec::new(),
             rev: Vec::new(),
@@ -149,9 +156,19 @@ mod tests {
             );
             let blocks = BlockMap::build_with(&faults, &mut ws);
             assert_eq!(blocks, BlockMap::build(&faults), "{w}x{h} blocks");
+            assert_eq!(
+                BlockMap::build_scalar_with(&faults, &mut ws),
+                blocks,
+                "{w}x{h} scalar blocks"
+            );
             for ty in MccType::ALL {
                 let mcc = MccMap::build_with(&faults, ty, &mut ws);
                 assert_eq!(mcc, MccMap::build(&faults, ty), "{w}x{h} {ty:?}");
+                assert_eq!(
+                    MccMap::build_scalar_with(&faults, ty, &mut ws),
+                    mcc,
+                    "{w}x{h} scalar {ty:?}"
+                );
             }
             let s = Coord::new(0, h - 1);
             let d = Coord::new(w - 1, 0);

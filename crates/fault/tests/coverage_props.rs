@@ -31,7 +31,7 @@ fn config() -> impl Strategy<Value = Case> {
 fn model_blocks(mesh: Mesh, faults: Vec<(i32, i32)>) -> (BlockMap, Vec<Rect>) {
     let set = FaultSet::from_coords(mesh, faults.into_iter().map(Coord::from));
     let blocks = BlockMap::build(&set);
-    let rects = blocks.rects();
+    let rects = blocks.rects().to_vec();
     (blocks, rects)
 }
 

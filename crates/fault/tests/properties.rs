@@ -90,7 +90,7 @@ proptest! {
         let d = Coord::from(d);
         prop_assume!(!blocks.is_blocked(s) && !blocks.is_blocked(d));
         let by_coverage =
-            coverage::minimal_path_exists_by_coverage(&blocks.rects(), s, d);
+            coverage::minimal_path_exists_by_coverage(blocks.rects(), s, d);
         let by_oracle = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
         prop_assert_eq!(by_coverage, by_oracle);
     }
@@ -182,7 +182,7 @@ fn coverage_in_all_quadrants_matches_oracle() {
                 continue;
             }
             let q = Quadrant::of(s, d);
-            let by_coverage = coverage::minimal_path_exists_by_coverage(&blocks.rects(), s, d);
+            let by_coverage = coverage::minimal_path_exists_by_coverage(blocks.rects(), s, d);
             let by_oracle = reach::minimal_path_exists(&mesh, s, d, |c| blocks.is_blocked(c));
             assert_eq!(
                 by_coverage, by_oracle,

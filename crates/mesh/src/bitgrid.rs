@@ -1,3 +1,5 @@
+use serde::{Deserialize, Serialize};
+
 use crate::{Coord, Mesh};
 
 /// One bit per node of a [`Mesh`], packed row-major into `u64` words.
@@ -21,7 +23,7 @@ use crate::{Coord, Mesh};
 /// assert_eq!(g.get(Coord::new(130, 2)), None); // outside the mesh
 /// assert_eq!(g.count_ones(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BitGrid {
     mesh: Mesh,
     words_per_row: usize,
@@ -41,6 +43,26 @@ fn tail_mask(len: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << rem) - 1
+    }
+}
+
+/// Transposes a 64×64 bit tile in place: on exit, bit `i` of `a[r]` is the
+/// old bit `r` of `a[i]`. The classic recursive block swap (Hacker's
+/// Delight §7-3), with the shift directions mirrored for this crate's
+/// LSB-first column convention (bit 0 = lowest column index).
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
     }
 }
 
@@ -173,6 +195,76 @@ impl BitGrid {
     /// The number of set bits over the whole grid.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Extracts column `x` as a packed bit vector: bit `y mod 64` of
+    /// `dst[y / 64]` holds the node at `(x, y)`. All of `dst` is
+    /// overwritten; bits at and beyond the mesh height are cleared.
+    ///
+    /// This is the column-direction counterpart of [`BitGrid::row`] for
+    /// kernels that scan vertical lanes; for whole-grid column work,
+    /// [`BitGrid::transpose_into`] amortizes better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the mesh or `dst` is shorter than
+    /// `⌈height / 64⌉` words.
+    pub fn column(&self, x: i32, dst: &mut [u64]) {
+        assert!(
+            (0..self.mesh.width()).contains(&x),
+            "column {x} outside {:?}",
+            self.mesh
+        );
+        let height = self.mesh.height() as usize;
+        assert!(
+            dst.len() >= words_for(height),
+            "column destination too short"
+        );
+        for w in dst.iter_mut() {
+            *w = 0;
+        }
+        let wi = x as usize / 64;
+        let bit = x.rem_euclid(64);
+        for y in 0..height {
+            let b = self.words[y * self.words_per_row + wi] >> bit & 1;
+            dst[y / 64] |= b << (y % 64);
+        }
+    }
+
+    /// Writes the transpose of this grid into `dst`: `dst` is retargeted to
+    /// the mesh with width and height swapped, and `dst` at `(y, x)` equals
+    /// `self` at `(x, y)`. Runs on 64×64 word tiles, so a full transpose
+    /// costs ~6 word operations per 64 nodes — cheap enough to turn every
+    /// column-direction kernel into a row-direction one.
+    pub fn transpose_into(&self, dst: &mut BitGrid) {
+        let (w, h) = (self.mesh.width(), self.mesh.height());
+        dst.reset(Mesh::new(h, w));
+        let dst_wpr = dst.words_per_row;
+        let mut tile = [0u64; 64];
+        for ty in 0..(h as usize).div_ceil(64) {
+            for tx in 0..self.words_per_row {
+                // Gather the 64×64 tile at word column tx, row block ty.
+                // Rows past the mesh height read as zero, which keeps the
+                // transposed rows' tail bits clear for free.
+                for (i, t) in tile.iter_mut().enumerate() {
+                    let y = ty * 64 + i;
+                    *t = if y < h as usize {
+                        self.words[y * self.words_per_row + tx]
+                    } else {
+                        0
+                    };
+                }
+                transpose64(&mut tile);
+                // Scatter: transposed word i holds source column
+                // tx·64 + i, landing in dst row tx·64 + i at word ty.
+                for (i, &t) in tile.iter().enumerate() {
+                    let x = tx * 64 + i;
+                    if x < w as usize {
+                        dst.words[x * dst_wpr + ty] = t;
+                    }
+                }
+            }
+        }
     }
 
     /// Copies the `len` bits at `(from.x .. from.x + len, from.y)` into
@@ -407,6 +499,71 @@ mod tests {
         // And the tail words beyond the span are cleared.
         g.span_east(Coord::new(0, 0), 10, &mut dst);
         assert_eq!(dst[1], 0);
+    }
+
+    #[test]
+    fn column_matches_per_bit_reads() {
+        // Heights straddling the word boundary, including 1×n and n×1.
+        for (width, height) in [(5, 63), (3, 64), (2, 65), (1, 130), (130, 1), (67, 70)] {
+            let mesh = Mesh::new(width, height);
+            let g = BitGrid::from_blocked(mesh, |c| (c.x * 7 + c.y * 13) % 5 < 2);
+            let words = (height as usize).div_ceil(64);
+            let mut dst = vec![u64::MAX; words + 1];
+            for x in 0..width {
+                g.column(x, &mut dst);
+                for y in 0..height {
+                    let got = dst[y as usize / 64] >> (y % 64) & 1 == 1;
+                    assert_eq!(Some(got), g.get(Coord::new(x, y)), "x={x} y={y}");
+                }
+                // Bits at and beyond the height — and whole extra words —
+                // must come back cleared.
+                if height % 64 != 0 {
+                    assert_eq!(dst[words - 1] & !tail_mask(height as usize), 0);
+                }
+                assert_eq!(dst[words], 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn column_outside_panics() {
+        let g = BitGrid::new(Mesh::new(4, 4));
+        g.column(4, &mut [0u64]);
+    }
+
+    #[test]
+    fn transpose_matches_per_bit_reads() {
+        for (width, height) in [
+            (1, 1),
+            (1, 70),
+            (70, 1),
+            (63, 65),
+            (64, 64),
+            (65, 63),
+            (130, 67),
+            (40, 150),
+        ] {
+            let mesh = Mesh::new(width, height);
+            let g = BitGrid::from_blocked(mesh, |c| (c.x * 31 + c.y * 17) % 7 < 3);
+            // Seed the destination with garbage to prove reset happens.
+            let mut t = BitGrid::from_blocked(Mesh::new(3, 3), |_| true);
+            g.transpose_into(&mut t);
+            assert_eq!(t.mesh(), Mesh::new(height, width), "{width}x{height}");
+            for c in mesh.nodes() {
+                assert_eq!(
+                    t.get(Coord::new(c.y, c.x)),
+                    g.get(c),
+                    "{width}x{height} at {c}"
+                );
+            }
+            assert_eq!(t.count_ones(), g.count_ones());
+            // Tail bits of every transposed row must stay zero: a second
+            // transpose must round-trip exactly.
+            let mut back = BitGrid::new(Mesh::new(1, 1));
+            t.transpose_into(&mut back);
+            assert_eq!(back, g, "{width}x{height} round-trip");
+        }
     }
 
     #[test]

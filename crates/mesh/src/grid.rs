@@ -90,6 +90,18 @@ impl<T> Grid<T> {
         self.data.iter().filter(|v| pred(v)).count()
     }
 
+    /// The backing storage in row-major order (`mesh.index_of` order).
+    /// Lets word-level kernels address whole lanes with index arithmetic
+    /// instead of per-node coordinate lookups.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing storage in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Applies `f` to every stored value, producing a grid of the results.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Grid<U> {
         Grid {

@@ -61,7 +61,7 @@ fn main() {
     // 2. Boundary-line propagation (the L1..L4 rays with joining).
     let rects = blocks.rects();
     let (marks, stats) = engine.run(&boundary::BoundaryPropagation::new(
-        rects.clone(),
+        rects.to_vec(),
         blocked.clone(),
     ));
     let marked_nodes = mesh.nodes().filter(|&c| !marks[c].is_empty()).count();

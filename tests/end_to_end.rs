@@ -51,7 +51,7 @@ fn distributed_boundary_matches_boundary_map() {
         let scenario = Scenario::build(faults);
         let blocked = emr2d::mesh::Grid::from_fn(mesh, |c| scenario.blocks().is_blocked(c));
         let global = scenario.boundary_map(Model::FaultBlock);
-        let proto = boundary::BoundaryPropagation::new(scenario.blocks().rects(), blocked);
+        let proto = boundary::BoundaryPropagation::new(scenario.blocks().rects().to_vec(), blocked);
         let (dist, _) = Engine::new(mesh).run(&proto);
         for c in mesh.nodes() {
             let mut a = dist[c].clone();
