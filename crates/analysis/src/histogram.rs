@@ -1,0 +1,262 @@
+//! Deterministic log-linear latency histograms.
+//!
+//! The serving load generator records per-query latencies from many
+//! worker threads and needs quantiles without keeping every sample. An
+//! HDR-style log-linear histogram fits: integer nanoseconds land in
+//! buckets whose width grows with magnitude (16 linear sub-buckets per
+//! power of two, ≤ 6.25% relative error), counts are plain `u64`s, and
+//! merging is bucket-wise addition — commutative and associative, so the
+//! merged histogram is identical for any thread count or merge order.
+//! Only the *recorded values* are wall-clock dependent; the structure
+//! itself is exact arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power of two. 16 bounds the relative
+/// quantization error at `1/16`.
+const SUB: u64 = 16;
+
+/// Bucket count covering the full `u64` range: 16 unit-width buckets for
+/// values below 16, then 16 per exponent 4..=63.
+const BUCKETS: usize = (SUB as usize) * 61;
+
+/// A fixed-size log-linear histogram of `u64` samples (latencies in
+/// nanoseconds, byte sizes, …).
+///
+/// # Examples
+///
+/// ```
+/// use emr_analysis::histogram::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.50);
+/// assert!((470..=530).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records one sample `n` times (for per-batch timing amortized over
+    /// the batch's queries).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+        if n > 0 {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Folds another histogram into this one. Bucket-wise addition:
+    /// merging per-thread histograms in any order yields the same result.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The smallest recorded sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The largest recorded sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the
+    /// bucket holding the sample of rank `ceil(q * count)`, clamped to
+    /// the observed extrema. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The bucket index of `v`: identity below 16, then 16 linear sub-buckets
+/// per power of two.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return usize::try_from(v).unwrap_or(0);
+    }
+    let exp = 63 - u64::from(v.leading_zeros()); // floor(log2 v), >= 4
+    let sub = (v >> (exp - 4)) & (SUB - 1);
+    usize::try_from((exp - 3) * SUB + sub).unwrap_or(BUCKETS - 1)
+}
+
+/// The largest value mapping to bucket `i` (inclusive upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let exp = i / SUB + 3;
+    let sub = i % SUB;
+    let base = (SUB + sub) << (exp - 4);
+    base + ((1u64 << (exp - 4)) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        // Every value maps into a bucket whose upper bound is >= it, and
+        // bucket indexes are monotone in the value.
+        let mut values: Vec<u64> = (0..60)
+            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off))
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let b = bucket_index(v);
+            assert!(b >= prev, "bucket index regressed at {v}");
+            assert!(bucket_upper(b) >= v, "upper({b}) < {v}");
+            prev = b;
+        }
+        // The inclusive upper bound is exact: the next value up changes
+        // bucket.
+        for b in 0..200 {
+            let hi = bucket_upper(b);
+            assert_eq!(bucket_index(hi), b);
+            assert_eq!(bucket_index(hi + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_stream() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Within one sub-bucket (6.25%) of the exact quantile.
+        assert!((4_700..=5_400).contains(&p50), "p50 {p50}");
+        assert!((9_300..=10_000).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        // Quantiles never leave the observed range.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_sequential_in_any_order() {
+        let samples: Vec<u64> = (0..3000u64).map(|i| (i * 7919) % 100_000).collect();
+        let mut sequential = LatencyHistogram::new();
+        for &v in &samples {
+            sequential.record(v);
+        }
+        // Merge per-chunk histograms in forward and reverse order.
+        let chunks: Vec<LatencyHistogram> = samples
+            .chunks(64)
+            .map(|chunk| {
+                let mut h = LatencyHistogram::new();
+                for &v in chunk {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut forward = LatencyHistogram::new();
+        for c in &chunks {
+            forward.merge(c);
+        }
+        let mut reverse = LatencyHistogram::new();
+        for c in chunks.iter().rev() {
+            reverse.merge(c);
+        }
+        assert_eq!(forward, sequential);
+        assert_eq!(reverse, sequential);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LatencyHistogram::new();
+        a.record_n(1234, 5);
+        a.record_n(0, 2);
+        let mut b = LatencyHistogram::new();
+        for _ in 0..5 {
+            b.record(1234);
+        }
+        for _ in 0..2 {
+            b.record(0);
+        }
+        assert_eq!(a, b);
+        // A zero count records nothing, not a phantom extremum.
+        let mut c = LatencyHistogram::new();
+        c.record_n(99, 0);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

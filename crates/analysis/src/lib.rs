@@ -4,6 +4,8 @@
 //!   of affected rows/columns (rows intersecting a faulty block) and its
 //!   simulated counterpart (the paper's Figure 7),
 //! * [`stats`] — the small summary statistics the figures report,
+//! * [`histogram`] — deterministic log-linear latency histograms
+//!   (bucket-wise mergeable, p50/p99 for the serving load generator),
 //! * [`sweep`] — the shared trial harness: sweeps the fault count,
 //!   generates scenarios exactly as §5 describes (source at the mesh
 //!   center, destination uniform in the first-quadrant submesh, endpoints
@@ -17,8 +19,10 @@
 
 pub mod affected;
 pub mod arrival;
+pub mod histogram;
 pub mod stats;
 pub mod sweep;
 
 pub use arrival::{ArrivalConfig, ArrivalReport};
+pub use histogram::LatencyHistogram;
 pub use sweep::{SeriesTable, SweepConfig};

@@ -1,0 +1,114 @@
+//! Serving-path microbenchmarks: query batches against a published
+//! snapshot over the loopback wire (the steady-state read path), and a
+//! full inject-and-publish epoch advance (the write path, including the
+//! snapshot capture).
+//!
+//! The read benchmark keeps the store fixed and replays a prepared batch
+//! of mixed route/safety/reach queries; the write benchmark measures one
+//! epoch turn on a store that is re-registered per iteration batch, so
+//! capture cost is not amortized away by Advance's idempotence.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use emr_core::Model;
+use emr_fault::inject;
+use emr_mesh::{Coord, Mesh};
+use emr_serve::api::{
+    AdvanceEpoch, InjectFault, ReachQuery, RegisterMesh, Request, RouteQuery, SafetyQuery,
+};
+use emr_serve::{LoopbackClient, Store, StoreConfig};
+
+const SIDE: i32 = 48;
+const BATCH: usize = 64;
+
+fn registered_client(shards: usize, seed: u64) -> LoopbackClient {
+    let client = LoopbackClient::new(Arc::new(Store::new(StoreConfig { shards, retain: 8 })));
+    let mesh = Mesh::square(SIDE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let faults: Vec<Coord> = inject::uniform(mesh, SIDE as usize, &[], &mut rng)
+        .iter()
+        .collect();
+    client.send_one(&Request::Register(RegisterMesh {
+        mesh: "bench".to_string(),
+        width: SIDE,
+        height: SIDE,
+        faults,
+    }));
+    client
+}
+
+fn query_batch(seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coord = |rng: &mut StdRng| Coord::new(rng.gen_range(0..SIDE), rng.gen_range(0..SIDE));
+    (0..BATCH)
+        .map(|i| {
+            let model = if i % 2 == 0 {
+                Model::FaultBlock
+            } else {
+                Model::Mcc
+            };
+            match i % 4 {
+                0 | 1 => Request::Route(RouteQuery {
+                    mesh: "bench".to_string(),
+                    at_epoch: None,
+                    model,
+                    s: coord(&mut rng),
+                    d: coord(&mut rng),
+                }),
+                2 => Request::Safety(SafetyQuery {
+                    mesh: "bench".to_string(),
+                    at_epoch: None,
+                    model,
+                    at: coord(&mut rng),
+                }),
+                _ => Request::Reach(ReachQuery {
+                    mesh: "bench".to_string(),
+                    at_epoch: None,
+                    s: coord(&mut rng),
+                    d: coord(&mut rng),
+                }),
+            }
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    let batch = query_batch(7);
+
+    for shards in [1usize, 4] {
+        let client = registered_client(shards, 1);
+        group.bench_with_input(
+            BenchmarkId::new("read_batch_64", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| client.send(&batch));
+            },
+        );
+    }
+
+    let client = registered_client(4, 2);
+    group.bench_function("epoch_advance", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let fault = Coord::new(rng.gen_range(0..SIDE), rng.gen_range(0..SIDE));
+            client.send(&[
+                Request::Inject(InjectFault {
+                    mesh: "bench".to_string(),
+                    fault,
+                }),
+                Request::Advance(AdvanceEpoch {
+                    mesh: "bench".to_string(),
+                }),
+            ])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

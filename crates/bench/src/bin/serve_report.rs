@@ -1,0 +1,259 @@
+//! Load-tests the routing service end to end and records throughput,
+//! latency quantiles, and snapshot-lifetime statistics per shard count
+//! to `BENCH_serve.json`.
+//!
+//! Each shard count runs the identical deterministic load (same master
+//! seed, same simulated clients, same fault arrivals) through the
+//! loopback wire transport; the per-run response checksum must be
+//! bit-identical across shard counts — the sharding is a lock-granularity
+//! knob, never an observable one — and the bin hard-asserts that before
+//! writing anything.
+//!
+//! Run with `cargo run --release -p emr-bench --bin serve_report`. Flags:
+//! `--smoke` (small mesh, ~10k queries, differential verification of
+//! every response turned on, and a queries/sec floor), `--mesh <side>`,
+//! `--clients <n>`, `--seed <s>`, `--threads <n>`, `--out <path>`
+//! (default `BENCH_serve.json`).
+
+use serde::Serialize;
+
+use emr_serve::loadgen::{run, LoadConfig};
+
+/// Queries/sec floor enforced in `--smoke` runs: an order of magnitude
+/// below what a debug-adjacent CI box delivers, so only a real serving
+/// regression (or an accidental debug-profile run) trips it.
+const SMOKE_QPS_FLOOR: f64 = 2_000.0;
+
+/// One shard count's run of the identical load.
+#[derive(Debug, Serialize)]
+struct ShardRecord {
+    /// Store shard count for this run.
+    shards: usize,
+    /// Worker threads driving the client phases.
+    threads: usize,
+    /// Total queries served.
+    queries: u64,
+    /// Queries per second over the client phases (wall clock).
+    qps: f64,
+    /// Median per-query latency, microseconds.
+    p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    p99_us: f64,
+    /// FNV-1a checksum of every response's wire bytes (must be identical
+    /// for every shard count).
+    checksum: u64,
+    /// Route decisions that guaranteed a minimal path.
+    minimal: u64,
+    /// Route decisions that guaranteed a sub-minimal path.
+    sub_minimal: u64,
+    /// Route queries where no local sufficient condition fired.
+    no_decision: u64,
+    /// Epochs published per tenant (including the registration epoch).
+    epochs_published: u64,
+    /// Snapshots retained at the end (max over tenants).
+    epochs_retained: u64,
+    /// Approximate bytes held by the latest snapshot (max over tenants).
+    approx_snapshot_bytes: u64,
+    /// Decision-memo entries exported into the latest snapshots (sum).
+    memo_entries: u64,
+    /// Responses that failed differential replay (verify runs; must be 0).
+    verify_failures: u64,
+}
+
+/// The record written to `BENCH_serve.json`.
+#[derive(Debug, Serialize)]
+struct ServeRecord {
+    /// Whether this was a `--smoke` run.
+    smoke: bool,
+    /// Master seed the whole load derives from.
+    seed: u64,
+    /// The run checksum shared by every shard count.
+    checksum: u64,
+    /// One entry per shard count, identical load each.
+    shard_counts: Vec<ShardRecord>,
+}
+
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Parsed command line: the smoke switch, master seed, worker threads,
+/// optional mesh-side and client-count overrides, and the output path.
+struct Args {
+    smoke: bool,
+    seed: u64,
+    threads: usize,
+    mesh: Option<i32>,
+    clients: Option<usize>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        seed: 0x00c0_4f04_2d5e_ed00,
+        threads: 4,
+        mesh: None,
+        clients: None,
+        out: String::from("BENCH_serve.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                parsed.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--mesh" => {
+                parsed.mesh = Some(
+                    value("--mesh")?
+                        .parse()
+                        .map_err(|e| format!("--mesh: {e}"))?,
+                );
+            }
+            "--clients" => {
+                parsed.clients = Some(
+                    value("--clients")?
+                        .parse()
+                        .map_err(|e| format!("--clients: {e}"))?,
+                );
+            }
+            "--out" => parsed.out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (expected --smoke, --mesh, --clients, \
+                     --seed, --threads, --out)"
+                ));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let (smoke, seed, threads, out) = (args.smoke, args.seed, args.threads, args.out);
+    // The identical load per shard count; only `shards` varies.
+    let mut base = if smoke {
+        LoadConfig {
+            mesh: 16,
+            tenants: 4,
+            clients: 32,
+            epochs: 4,
+            queries_per_client: 24,
+            threads,
+            seed,
+            verify: true,
+            ..LoadConfig::default()
+        }
+    } else {
+        LoadConfig {
+            mesh: 48,
+            tenants: 8,
+            clients: 128,
+            epochs: 6,
+            queries_per_client: 64,
+            threads,
+            seed,
+            verify: false,
+            ..LoadConfig::default()
+        }
+    };
+    if let Some(mesh) = args.mesh {
+        base.mesh = mesh;
+    }
+    if let Some(clients) = args.clients {
+        base.clients = clients;
+    }
+    let shard_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 4, 16] };
+
+    let mut records = Vec::new();
+    for &shards in shard_counts {
+        let report = run(&LoadConfig { shards, ..base });
+        assert_eq!(report.errors, 0, "load produced error responses");
+        assert_eq!(
+            report.verify_failures, 0,
+            "served answers diverged from direct replay"
+        );
+        eprintln!(
+            "shards {shards:>2}: {} queries, {:.0} q/s, p50 {:.1} us, p99 {:.1} us, \
+             checksum {:016x}",
+            report.queries,
+            report.qps,
+            ns_to_us(report.latency.quantile(0.5)),
+            ns_to_us(report.latency.quantile(0.99)),
+            report.checksum
+        );
+        records.push(ShardRecord {
+            shards,
+            threads: base.threads,
+            queries: report.queries,
+            qps: report.qps,
+            p50_us: ns_to_us(report.latency.quantile(0.5)),
+            p99_us: ns_to_us(report.latency.quantile(0.99)),
+            checksum: report.checksum,
+            minimal: report.minimal,
+            sub_minimal: report.sub_minimal,
+            no_decision: report.no_decision,
+            epochs_published: report.epochs_published,
+            epochs_retained: report.epochs_retained,
+            approx_snapshot_bytes: report.approx_snapshot_bytes,
+            memo_entries: report.memo_entries,
+            verify_failures: report.verify_failures,
+        });
+    }
+
+    let checksum = records[0].checksum;
+    assert!(
+        records.iter().all(|r| r.checksum == checksum),
+        "response checksums diverged across shard counts: {:?}",
+        records.iter().map(|r| r.checksum).collect::<Vec<_>>()
+    );
+
+    let record = ServeRecord {
+        smoke,
+        seed,
+        checksum,
+        shard_counts: records,
+    };
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("creating output directory");
+        }
+    }
+    let json = serde_json::to_string_pretty(&record).expect("serializing serve record");
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("-> {out}");
+    if smoke {
+        let slow: Vec<String> = record
+            .shard_counts
+            .iter()
+            .filter(|r| r.qps < SMOKE_QPS_FLOOR)
+            .map(|r| format!("{} shards at {:.0} q/s", r.shards, r.qps))
+            .collect();
+        if !slow.is_empty() {
+            eprintln!(
+                "FAIL: below the {SMOKE_QPS_FLOOR:.0} q/s smoke floor: {}",
+                slow.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,6 +36,10 @@ use emr_fault::{
 };
 use emr_mesh::{Coord, Grid, Mesh};
 use emr_netsim::{NetSim, Packet, WuRouter};
+use emr_serve::api::{
+    AdvanceEpoch, InjectFault, ReachQuery, RegisterMesh, Request, Response, RouteQuery, SafetyQuery,
+};
+use emr_serve::{LoopbackClient, Store, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -143,6 +147,15 @@ pub const ORACLES: &[Oracle] = &[
                 every epoch, and every cache-fresh decision equals a \
                 recompute (ground truth: Scenario::build)",
         check: o_state_matches_rebuild,
+    },
+    Oracle {
+        name: "serve-matches-direct",
+        claim: "every response a serve session produces — routes, safety \
+                levels, reachability, at every retained epoch — equals a \
+                fresh Scenario built from that epoch's fault prefix, and \
+                the whole response stream is invariant under the shard \
+                count (ground truth: Scenario::build + decide_local)",
+        check: o_serve_matches_direct,
     },
     Oracle {
         name: "mirror-invariance",
@@ -888,6 +901,224 @@ fn o_state_matches_rebuild(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violatio
         }
         if !out.is_empty() {
             break; // report the first diverging epoch; later ones only cascade
+        }
+    }
+    out
+}
+
+fn o_serve_matches_direct(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mesh = spec.mesh();
+    let name = "spec";
+    let mk = |shards: usize| {
+        LoopbackClient::new(std::sync::Arc::new(Store::new(StoreConfig {
+            shards,
+            retain: 1024, // keep every epoch resident for the replay
+        })))
+    };
+    let client = mk(1);
+
+    // Drive one session, recording every batch and its responses so the
+    // identical script can be replayed against a differently-sharded
+    // store afterwards. The spec's faults arrive in at most 8 publish
+    // groups; the fault prefix live at each published epoch is mirrored
+    // from the `Injected.changed` / `Published` responses themselves.
+    let mut script: Vec<(Vec<Request>, Vec<Response>)> = Vec::new();
+    let send = |client: &LoopbackClient,
+                script: &mut Vec<(Vec<Request>, Vec<Response>)>,
+                batch: Vec<Request>| {
+        let responses = client.send(&batch);
+        script.push((batch, responses));
+        script.last().expect("just pushed").1.clone()
+    };
+
+    let register = send(
+        &client,
+        &mut script,
+        vec![Request::Register(RegisterMesh {
+            mesh: name.to_string(),
+            width: spec.width,
+            height: spec.height,
+            faults: Vec::new(),
+        })],
+    );
+    if !matches!(register[0], Response::Registered(_)) {
+        return vec![violation(
+            "serve-matches-direct",
+            format!("registration failed: {:?}", register[0]),
+        )];
+    }
+
+    let mut prefix: Vec<Coord> = Vec::new();
+    let mut published: Vec<(u64, Vec<Coord>)> = vec![(0, Vec::new())];
+    let group = spec.faults.len().div_ceil(8).max(1);
+    for chunk in spec.faults.chunks(group) {
+        let mut batch: Vec<Request> = chunk
+            .iter()
+            .map(|&c| {
+                Request::Inject(InjectFault {
+                    mesh: name.to_string(),
+                    fault: c,
+                })
+            })
+            .collect();
+        batch.push(Request::Advance(AdvanceEpoch {
+            mesh: name.to_string(),
+        }));
+        let responses = send(&client, &mut script, batch);
+        for (&c, resp) in chunk.iter().zip(responses.iter()) {
+            match resp {
+                Response::Injected(inj) => {
+                    if inj.changed {
+                        prefix.push(c);
+                    }
+                }
+                other => out.push(violation(
+                    "serve-matches-direct",
+                    format!("inject of {c} answered {other:?}"),
+                )),
+            }
+        }
+        match responses.last() {
+            Some(Response::Published(p)) => {
+                if p.epoch != prefix.len() as u64 {
+                    out.push(violation(
+                        "serve-matches-direct",
+                        format!(
+                            "published epoch {} after {} distinct faults",
+                            p.epoch,
+                            prefix.len()
+                        ),
+                    ));
+                }
+                if p.fresh {
+                    published.push((p.epoch, prefix.clone()));
+                }
+            }
+            other => out.push(violation(
+                "serve-matches-direct",
+                format!("advance answered {other:?}"),
+            )),
+        }
+    }
+    if !out.is_empty() {
+        return out; // session itself is broken; replaying only cascades
+    }
+
+    // Differential replay: every pinned answer at every retained epoch
+    // must equal a fresh from-scratch build of that epoch's prefix.
+    for (epoch, prefix) in &published {
+        let direct = Scenario::build(FaultSet::from_coords(mesh, prefix.iter().copied()));
+        let faults = direct.faults();
+        for &(s, d) in &spec.pairs {
+            let mut batch = Vec::new();
+            for model in Model::ALL {
+                batch.push(Request::Route(RouteQuery {
+                    mesh: name.to_string(),
+                    at_epoch: Some(*epoch),
+                    model,
+                    s,
+                    d,
+                }));
+                batch.push(Request::Safety(SafetyQuery {
+                    mesh: name.to_string(),
+                    at_epoch: Some(*epoch),
+                    model,
+                    at: s,
+                }));
+            }
+            batch.push(Request::Reach(ReachQuery {
+                mesh: name.to_string(),
+                at_epoch: Some(*epoch),
+                s,
+                d,
+            }));
+            let responses = send(&client, &mut script, batch);
+            // Positional decode: [route(b), safety(b), route(m), safety(m), reach].
+            let expect_route = |model: Model| decide_local(&direct.view(model), s, d);
+            let expect_safety = |model: Model| match model {
+                Model::FaultBlock => direct.block_safety_map().level(s),
+                Model::Mcc => direct.mcc_safety_map(MccType::One).level(s),
+            };
+            let checks: [(&str, bool); 5] = [
+                (
+                    "route[block]",
+                    matches!(&responses[0], Response::Routed(r)
+                             if r.epoch == *epoch && r.decision == expect_route(Model::FaultBlock)),
+                ),
+                (
+                    "safety[block]",
+                    matches!(&responses[1], Response::Safety(r)
+                             if r.epoch == *epoch && r.level == expect_safety(Model::FaultBlock)),
+                ),
+                (
+                    "route[mcc]",
+                    matches!(&responses[2], Response::Routed(r)
+                             if r.epoch == *epoch && r.decision == expect_route(Model::Mcc)),
+                ),
+                (
+                    "safety[mcc]",
+                    matches!(&responses[3], Response::Safety(r)
+                             if r.epoch == *epoch && r.level == expect_safety(Model::Mcc)),
+                ),
+                (
+                    "reach",
+                    matches!(&responses[4], Response::Reached(r)
+                             if r.epoch == *epoch
+                                && r.reachable
+                                   == reach_bits::minimal_path_exists_bits(
+                                       &mesh, s, d, |c| faults.is_faulty(c))),
+                ),
+            ];
+            for (what, ok) in checks {
+                if !ok {
+                    out.push(violation(
+                        "serve-matches-direct",
+                        format!(
+                            "epoch {epoch} {s}->{d}: served {what} diverged from a \
+                                 fresh Scenario of the same fault prefix"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Unpinned reads after the session answer at the latest epoch.
+    if let Some(&(s, d)) = spec.pairs.first() {
+        let latest = published.last().map_or(0, |&(e, _)| e);
+        let responses = send(
+            &client,
+            &mut script,
+            vec![Request::Reach(ReachQuery {
+                mesh: name.to_string(),
+                at_epoch: None,
+                s,
+                d,
+            })],
+        );
+        if !matches!(&responses[0], Response::Reached(r) if r.epoch == latest) {
+            out.push(violation(
+                "serve-matches-direct",
+                format!(
+                    "unpinned read answered {:?}, expected the latest epoch {latest}",
+                    responses[0]
+                ),
+            ));
+        }
+    }
+
+    // Shard invariance: the identical batch script against a 3-shard
+    // store yields the identical response stream, batch for batch.
+    let resharded = mk(3);
+    for (i, (batch, expected)) in script.iter().enumerate() {
+        let got = resharded.send(batch);
+        if got != *expected {
+            out.push(violation(
+                "serve-matches-direct",
+                format!("batch {i}: responses diverged between 1 and 3 shards"),
+            ));
+            break;
         }
     }
     out

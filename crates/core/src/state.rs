@@ -188,6 +188,21 @@ impl ScenarioState {
         }
     }
 
+    /// An immutable export of the current epoch: the underlying scenario,
+    /// fully warmed and cloned, so the caller can freeze it behind an
+    /// `Arc` while this state keeps accumulating faults.
+    ///
+    /// Warming before the clone matters: a `OnceLock` clone carries the
+    /// *value* (initialized or not), so exporting a warmed scenario hands
+    /// out every packed map by copy — later queries on the export never
+    /// rebuild anything, and `insert_fault` on this state can never be
+    /// observed by a holder of the export. This is the snapshot-publish
+    /// primitive of `emr-serve`.
+    pub fn export_scenario(&self) -> Scenario {
+        self.scenario.warm();
+        self.scenario.clone()
+    }
+
     /// Whether a decision for `(s, d)` computed at epoch `since` is still
     /// exact at the current epoch.
     ///
@@ -318,6 +333,35 @@ impl DecisionCache {
             .then_some(entry.decision)
     }
 
+    /// Every memoized decision that is still provably fresh at `state`'s
+    /// current epoch, in key order.
+    ///
+    /// Each returned decision is bit-identical to what [`decide_local`]
+    /// would recompute right now (the [`ScenarioState::decision_fresh`]
+    /// guarantee), so the export can seed a read-only memo for an
+    /// immutable snapshot of the state — stale entries are simply
+    /// dropped rather than recomputed.
+    pub fn export_fresh(
+        &self,
+        state: &ScenarioState,
+    ) -> Vec<((Model, Coord, Coord), Option<Ensured>)> {
+        self.entries
+            .iter()
+            .filter(|((model, s, d), entry)| state.decision_fresh(*model, *s, *d, entry.epoch))
+            .map(|(&key, entry)| (key, entry.decision))
+            .collect()
+    }
+
+    /// Number of memoized pairs (fresh or stale).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Lookups answered from cache.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -408,6 +452,71 @@ mod tests {
         assert_marks_match(&mut st, "epoch 1");
         st.insert_fault(Coord::new(2, 8));
         assert_marks_match(&mut st, "epoch 2");
+    }
+
+    #[test]
+    fn exported_scenario_is_isolated_from_later_faults() {
+        let mesh = Mesh::square(12);
+        let mut st = state_with(mesh, &[(5, 5), (6, 6)]);
+        let exported = st.export_scenario();
+        let before: Vec<_> = mesh
+            .nodes()
+            .map(|c| {
+                (
+                    exported.blocks().state(c),
+                    exported.block_safety_map().level(c),
+                    exported.mcc_safety_map(MccType::One).level(c),
+                )
+            })
+            .collect();
+        // Mutating the state must not be visible through the export.
+        st.insert_fault(Coord::new(5, 6));
+        st.insert_fault(Coord::new(1, 9));
+        let after: Vec<_> = mesh
+            .nodes()
+            .map(|c| {
+                (
+                    exported.blocks().state(c),
+                    exported.block_safety_map().level(c),
+                    exported.mcc_safety_map(MccType::One).level(c),
+                )
+            })
+            .collect();
+        assert_eq!(before, after);
+        // And the export matches a from-scratch build of its epoch.
+        let rebuilt = Scenario::build(FaultSet::from_coords(
+            mesh,
+            [Coord::new(5, 5), Coord::new(6, 6)],
+        ));
+        for c in mesh.nodes() {
+            assert_eq!(exported.blocks().state(c), rebuilt.blocks().state(c));
+            assert_eq!(
+                exported.block_safety_map().level(c),
+                rebuilt.block_safety_map().level(c)
+            );
+        }
+    }
+
+    #[test]
+    fn export_fresh_keeps_only_provably_fresh_entries() {
+        let mesh = Mesh::square(16);
+        let mut st = state_with(mesh, &[(3, 3)]);
+        let mut cache = DecisionCache::new();
+        let near = (Coord::new(1, 1), Coord::new(6, 6));
+        let far = (Coord::new(12, 10), Coord::new(15, 15));
+        cache.decide(&st, Model::FaultBlock, near.0, near.1);
+        cache.decide(&st, Model::FaultBlock, far.0, far.1);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        // A fault inside `near`'s band stales that entry only.
+        st.insert_fault(Coord::new(5, 2));
+        let fresh = cache.export_fresh(&st);
+        assert_eq!(fresh.len(), 1);
+        let ((model, s, d), decision) = fresh[0];
+        assert_eq!((model, s, d), (Model::FaultBlock, far.0, far.1));
+        // The exported value is bit-identical to a recompute right now.
+        let view = st.scenario().view(Model::FaultBlock);
+        assert_eq!(decision, decide_local(&view, s, d));
     }
 
     #[test]

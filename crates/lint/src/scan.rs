@@ -21,6 +21,7 @@ pub const FIRST_PARTY_ROOTS: &[&str] = &[
     "crates/analysis",
     "crates/bench",
     "crates/conform",
+    "crates/serve",
     "crates/lint",
 ];
 

@@ -1,0 +1,86 @@
+//! Determinism regression for the load generator: the response checksum
+//! and every counter must be bit-identical across worker thread counts
+//! and across shard counts. Only wall-clock outputs (`elapsed_secs`,
+//! `qps`, and the recorded latency *values*) may differ.
+
+use emr_serve::loadgen::{run, LoadConfig, LoadReport};
+
+fn small(threads: usize, shards: usize, verify: bool) -> LoadConfig {
+    LoadConfig {
+        mesh: 12,
+        tenants: 3,
+        clients: 24,
+        epochs: 3,
+        queries_per_client: 12,
+        warm_per_epoch: 3,
+        shards,
+        retain: 4,
+        threads,
+        verify,
+        ..LoadConfig::default()
+    }
+}
+
+/// Everything in a report that must be deterministic, in one comparable
+/// bundle (latency and wall-clock excluded by construction).
+fn deterministic_part(r: &LoadReport) -> Vec<(&'static str, u64)> {
+    vec![
+        ("queries", r.queries),
+        ("errors", r.errors),
+        ("routed", r.routed),
+        ("safety", r.safety),
+        ("reached", r.reached),
+        ("minimal", r.minimal),
+        ("sub_minimal", r.sub_minimal),
+        ("no_decision", r.no_decision),
+        ("checksum", r.checksum),
+        ("epochs_published", r.epochs_published),
+        ("epochs_retained", r.epochs_retained),
+        ("approx_snapshot_bytes", r.approx_snapshot_bytes),
+        ("memo_entries", r.memo_entries),
+        ("verify_failures", r.verify_failures),
+    ]
+}
+
+#[test]
+fn thread_count_is_unobservable() {
+    let base = run(&small(1, 4, true));
+    assert_eq!(base.errors, 0, "well-formed run produced error responses");
+    assert_eq!(
+        base.verify_failures, 0,
+        "served answers diverged from direct replay"
+    );
+    assert!(base.queries > 0 && base.routed > 0 && base.safety > 0 && base.reached > 0);
+    assert_eq!(base.latency.count(), base.queries);
+    for threads in [2, 8] {
+        let other = run(&small(threads, 4, true));
+        assert_eq!(
+            deterministic_part(&base),
+            deterministic_part(&other),
+            "report drifted at {threads} threads"
+        );
+        assert_eq!(other.latency.count(), other.queries);
+    }
+}
+
+#[test]
+fn shard_count_is_unobservable() {
+    let base = run(&small(2, 1, false));
+    for shards in [3, 9] {
+        let other = run(&small(2, shards, false));
+        assert_eq!(
+            deterministic_part(&base),
+            deterministic_part(&other),
+            "report drifted at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn verification_does_not_change_the_checksum() {
+    let plain = run(&small(1, 2, false));
+    let verified = run(&small(1, 2, true));
+    assert_eq!(plain.checksum, verified.checksum);
+    assert_eq!(plain.queries, verified.queries);
+    assert_eq!(verified.verify_failures, 0);
+}

@@ -22,6 +22,9 @@
 //!   specs, the oracle table (including the epoched
 //!   `state-matches-rebuild` oracle), and the shrinking counterexample
 //!   runner (`emr-conform`),
+//! * [`serve`] — routing-as-a-service: the sharded snapshot-isolated
+//!   query server, its loopback wire transport, and the deterministic
+//!   load generator (`emr-serve`),
 //!
 //! plus the most-used types at the top level.
 //!
@@ -51,6 +54,7 @@ pub use emr_fault as fault;
 pub use emr_mesh as mesh;
 pub use emr_mesh3 as mesh3;
 pub use emr_netsim as netsim;
+pub use emr_serve as serve;
 
 /// The types almost every user of the library needs.
 pub mod prelude {
