@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use emr_core::Scenario;
+use emr_core::{BuildProfile, Scenario};
 use emr_fault::{inject, FaultSet, ReachMap, Workspace};
 use emr_mesh::{Coord, Mesh};
 
@@ -61,6 +61,13 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads; `None` uses one per available core.
     pub threads: Option<usize>,
+    /// Build strategy for each trial's [`Scenario`]; `None` picks
+    /// [`BuildProfile::auto`] per mesh. Banded builds are bit-identical
+    /// to sequential ones, so this never changes the table — but sweeps
+    /// already parallelize across trials, so giant-mesh runs that want
+    /// intra-trial bands should set `threads` low to avoid
+    /// oversubscription.
+    pub profile: Option<BuildProfile>,
 }
 
 impl Default for SweepConfig {
@@ -73,6 +80,7 @@ impl Default for SweepConfig {
             fault_counts: (0..=200).step_by(10).collect(),
             seed: 0x2002_1c05,
             threads: None,
+            profile: None,
         }
     }
 }
@@ -86,6 +94,7 @@ impl SweepConfig {
             fault_counts: vec![0, 10, 20, 40],
             seed: 7,
             threads: None,
+            profile: None,
         }
     }
 
@@ -205,6 +214,7 @@ where
     F: Fn(&TrialInput<'_>, &mut StdRng) -> Vec<f64> + Sync,
 {
     let mesh = Mesh::square(cfg.mesh_size);
+    let profile = cfg.profile.unwrap_or_else(|| BuildProfile::auto(mesh));
 
     // One work item per (point, chunk of trials).
     struct Item {
@@ -251,8 +261,14 @@ where
                         let mut sums = vec![Summary::new(); series.len()];
                         for t in item.first_trial..item.first_trial + item.trials {
                             let mut gen_rng = generation_rng(cfg.seed, item.k, t);
-                            let (scenario, source, dest) =
-                                generate_trial(mesh, item.k, inject, &mut gen_rng, &mut ws);
+                            let (scenario, source, dest) = generate_trial(
+                                mesh,
+                                item.k,
+                                profile,
+                                inject,
+                                &mut gen_rng,
+                                &mut ws,
+                            );
                             let input = TrialInput::new(&scenario, source, dest);
                             let mut measure_rng = measurement_rng(cfg.seed, item.k, t);
                             let samples = measure(&input, &mut measure_rng);
@@ -306,6 +322,7 @@ where
 fn generate_trial<G>(
     mesh: Mesh,
     k: usize,
+    profile: BuildProfile,
     inject: &G,
     rng: &mut StdRng,
     ws: &mut Workspace,
@@ -316,7 +333,7 @@ where
     let source = mesh.center();
     let scenario = loop {
         let faults = inject(mesh, k, source, rng);
-        let sc = Scenario::build_with(faults, ws);
+        let sc = Scenario::build_profiled_with(faults, profile, ws);
         // The paper assumes the source is outside every faulty block.
         if !sc.blocks().is_blocked(source) {
             break sc;
@@ -467,7 +484,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut ws = Workspace::new();
         for k in [0usize, 5, 25] {
-            let (sc, s, d) = generate_trial(mesh, k, &uniform, &mut rng, &mut ws);
+            let (sc, s, d) =
+                generate_trial(mesh, k, BuildProfile::SCALAR, &uniform, &mut rng, &mut ws);
             assert_eq!(s, mesh.center());
             assert!(!sc.blocks().is_blocked(s));
             assert!(!sc.blocks().is_blocked(d));
@@ -557,6 +575,21 @@ mod tests {
     }
 
     #[test]
+    fn profiled_sweeps_match_scalar_tables() {
+        // Banded construction and lean safety storage must leave every
+        // sweep table byte-identical to the sequential dense run.
+        let mut cfg = SweepConfig::smoke();
+        cfg.profile = Some(BuildProfile::SCALAR);
+        let scalar = run(&cfg, &GOLDEN_SERIES, golden_measure).to_plain_string();
+        cfg.profile = Some(BuildProfile {
+            bands: 3,
+            lean_safety: true,
+        });
+        let tiled = run(&cfg, &GOLDEN_SERIES, golden_measure).to_plain_string();
+        assert_eq!(tiled, scalar);
+    }
+
+    #[test]
     fn smoke_config_matches_pinned_golden() {
         // Pins the exact output of `SweepConfig::smoke()` under the
         // deterministic seed→trial RNG derivation. If this changes, the
@@ -581,6 +614,7 @@ mod tests {
             fault_counts: vec![0, 5],
             seed: 1,
             threads: None,
+            profile: None,
         };
         let table = run(&cfg, &["ones", "halves"], |_, _| vec![1.0, 0.5]);
         assert_eq!(table.mean("ones", 0), Some(1.0));
@@ -605,6 +639,7 @@ mod tests {
             fault_counts: vec![0],
             seed: 1,
             threads: None,
+            profile: None,
         };
         let _ = run(&cfg, &["a", "b"], |_, _| vec![1.0]);
     }

@@ -38,6 +38,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
             fault_counts: vec![0, 30, 60],
             seed: 0xBEEF,
             threads: Some(threads),
+            profile: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
             b.iter(|| representative_sweep(cfg))

@@ -67,6 +67,18 @@ struct ServeRecord {
     smoke: bool,
     /// Master seed the whole load derives from.
     seed: u64,
+    /// Square mesh side length per tenant.
+    mesh: i32,
+    /// Nodes per tenant mesh (`mesh * mesh`).
+    nodes: u64,
+    /// Tenant (mesh) count.
+    tenants: usize,
+    /// Simulated client count.
+    clients: usize,
+    /// Fault-arrival epochs published after the initial one.
+    epochs: u64,
+    /// Queries per client per epoch.
+    queries_per_client: usize,
     /// The run checksum shared by every shard count.
     checksum: u64,
     /// One entry per shard count, identical load each.
@@ -230,6 +242,12 @@ fn main() {
     let record = ServeRecord {
         smoke,
         seed,
+        mesh: base.mesh,
+        nodes: u64::try_from(base.mesh).unwrap_or(0).pow(2),
+        tenants: base.tenants,
+        clients: base.clients,
+        epochs: base.epochs,
+        queries_per_client: base.queries_per_client,
         checksum,
         shard_counts: records,
     };

@@ -260,6 +260,7 @@ mod tests {
             fault_counts: vec![0, 8, 16],
             seed: 99,
             threads: None,
+            profile: None,
         }
     }
 

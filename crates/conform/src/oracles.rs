@@ -25,8 +25,8 @@ use serde::{Deserialize, Serialize};
 
 use emr_core::conditions::{StrategyKind, StrategyParams};
 use emr_core::{
-    conditions, decide_local, route, DecisionCache, Ensured, Model, ModelView, RouteError,
-    SafetyMap, Scenario, ScenarioState,
+    conditions, decide_local, route, BuildProfile, DecisionCache, Ensured, Model, ModelView,
+    RouteError, SafetyMap, Scenario, ScenarioState,
 };
 use emr_distsim::protocols::esl::{self, EslFormation};
 use emr_distsim::protocols::labeling::{BlockLabeling, BlockStatus, MccLabeling};
@@ -109,6 +109,15 @@ pub const ORACLES: &[Oracle] = &[
                 lane resweep equal the scalar ESL sweep for every obstacle \
                 map (ground truth: SafetyMap::compute)",
         check: o_safety_bits_matches_scalar,
+    },
+    Oracle {
+        name: "tiled-matches-scalar",
+        claim: "row-banded construction, lean safety storage, the \
+                quadrant-parallel reach sweep, and tiled epoch repair all \
+                equal the scalar single-band builds, for every band count \
+                including 1 and counts exceeding the mesh height (ground \
+                truth: BuildProfile::SCALAR)",
+        check: o_tiled_matches_scalar,
     },
     Oracle {
         name: "sufficient-implies-dp",
@@ -506,6 +515,106 @@ fn o_safety_bits_matches_scalar(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Vio
                 ),
             ));
             break;
+        }
+    }
+    out
+}
+
+fn o_tiled_matches_scalar(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mesh = spec.mesh();
+    let scalar = Scenario::build_profiled(spec.fault_set(), BuildProfile::SCALAR);
+    // From-scratch: every band count (including the degenerate 1 and a
+    // count exceeding the mesh height, which clamps) and the lean safety
+    // representation must reproduce the scalar maps bit for bit.
+    let over_height = usize::try_from(mesh.height()).unwrap_or(1) + 1;
+    let profiles = [
+        (1, false),
+        (2, false),
+        (3, true),
+        (5, false),
+        (over_height, true),
+    ];
+    for (bands, lean_safety) in profiles {
+        let profile = BuildProfile { bands, lean_safety };
+        let tiled = Scenario::build_profiled(spec.fault_set(), profile);
+        if tiled.blocks() != scalar.blocks() {
+            out.push(violation(
+                "tiled-matches-scalar",
+                format!("[{profile:?}] banded block fix-point diverged from scalar"),
+            ));
+            continue;
+        }
+        if tiled.block_safety_map() != scalar.block_safety_map() {
+            out.push(violation(
+                "tiled-matches-scalar",
+                format!("[{profile:?}] block safety map diverged from scalar"),
+            ));
+        }
+        for ty in MccType::ALL {
+            if tiled.mcc(ty) != scalar.mcc(ty) {
+                out.push(violation(
+                    "tiled-matches-scalar",
+                    format!("[{profile:?}] banded MCC {ty:?} labeling diverged from scalar"),
+                ));
+            } else if tiled.mcc_safety_map(ty) != scalar.mcc_safety_map(ty) {
+                out.push(violation(
+                    "tiled-matches-scalar",
+                    format!("[{profile:?}] MCC {ty:?} safety map diverged from scalar"),
+                ));
+            }
+        }
+    }
+    // The quadrant-parallel reach sweep must agree with the sequential
+    // carry-chain build at every destination.
+    if let Some(&(s, _)) = spec.pairs.first() {
+        let packed = scalar.blocks().packed();
+        let seq = ReachMap::from_packed(s, packed);
+        let par = ReachMap::from_packed_parallel(s, packed);
+        if let Some(c) = mesh.nodes().find(|&c| seq.reachable(c) != par.reachable(c)) {
+            out.push(violation(
+                "tiled-matches-scalar",
+                format!(
+                    "quadrant-parallel reach from {s} diverged at {c}: \
+                     sequential {}, parallel {}",
+                    seq.reachable(c),
+                    par.reachable(c)
+                ),
+            ));
+        }
+    }
+    // Incremental: replaying the faults epoch by epoch under a tiled,
+    // lean profile must land on the same warmed maps as the scalar
+    // from-scratch build (the resweeps repair lean storage in place).
+    let mut st = ScenarioState::with_profile(
+        FaultSet::new(mesh),
+        BuildProfile {
+            bands: 2,
+            lean_safety: true,
+        },
+    );
+    for &f in &spec.faults {
+        st.insert_fault(f);
+    }
+    let repaired = st.export_scenario();
+    if repaired.block_safety_map() != scalar.block_safety_map() {
+        out.push(violation(
+            "tiled-matches-scalar",
+            format!(
+                "lean epoch repair diverged from scalar block safety after {} faults",
+                spec.faults.len()
+            ),
+        ));
+    }
+    for ty in MccType::ALL {
+        if repaired.mcc_safety_map(ty) != scalar.mcc_safety_map(ty) {
+            out.push(violation(
+                "tiled-matches-scalar",
+                format!(
+                    "lean epoch repair diverged from scalar MCC {ty:?} safety after {} faults",
+                    spec.faults.len()
+                ),
+            ));
         }
     }
     out

@@ -5,7 +5,9 @@ use serde::{Deserialize, Serialize};
 use emr_distsim::protocols::{esl, EslTuple};
 use emr_fault::workspace::{with_scratch, Workspace};
 use emr_fault::{BlockMap, MccMap};
-use emr_mesh::{BitGrid, Coord, Direction, Dist, Frame, Grid, Mesh, Rect, UNBOUNDED};
+use emr_mesh::{
+    BitGrid, Coord, Direction, Dist, Frame, Grid, LaneIndex, MemBytes, Mesh, Rect, UNBOUNDED,
+};
 
 /// The **extended safety level** of a node: the 4-tuple `(E, S, W, N)` of
 /// hop distances to the closest faulty block (or MCC) in each direction
@@ -113,14 +115,33 @@ impl fmt::Display for SafetyLevel {
     }
 }
 
+/// The storage behind a [`SafetyMap`]: a dense per-node level grid, or
+/// the memory-lean sorted-lane index the levels are derived from on
+/// demand. Both answer [`SafetyMap::level`] identically; the two forms
+/// compare equal whenever they describe the same levels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Repr {
+    /// 16 bytes per node, O(1) lookups — the default at bench-scale
+    /// meshes and the layout every scalar ground-truth builder produces.
+    Dense(Grid<SafetyLevel>),
+    /// Two `u32` entries per *obstacle*, O(log f) lookups via binary
+    /// search in the node's row and column lanes — the giant-mesh form.
+    Lean(LaneIndex),
+}
+
 /// The extended safety levels of every node of a mesh for one obstacle map.
 ///
 /// Computed by directional sweeps (identical, by the `emr-distsim` test
 /// suite, to running the paper's distributed FORMATION protocol to
-/// quiescence).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// quiescence). A safety level is a pure function of the obstacle
+/// pattern of the node's own row and column, which admits two storage
+/// layouts: the default dense grid, and the lean sorted-lane form built
+/// by [`SafetyMap::compute_packed_lean`] whose footprint scales with the
+/// obstacle count instead of the node count. Equality is semantic: maps
+/// with the same per-node levels are equal regardless of layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SafetyMap {
-    levels: Grid<SafetyLevel>,
+    repr: Repr,
 }
 
 impl SafetyMap {
@@ -135,7 +156,7 @@ impl SafetyMap {
     pub fn compute_with(blocked: &Grid<bool>, ws: &mut Workspace) -> SafetyMap {
         esl::compute_global_into(blocked, &mut ws.tuples);
         SafetyMap {
-            levels: ws.tuples.map(|&t| SafetyLevel::from_tuple(t)),
+            repr: Repr::Dense(ws.tuples.map(|&t| SafetyLevel::from_tuple(t))),
         }
     }
 
@@ -173,7 +194,61 @@ impl SafetyMap {
                 sweep_col_packed(transposed.row(x), slice, xi, width, true);
             }
         }
-        SafetyMap { levels }
+        SafetyMap {
+            repr: Repr::Dense(levels),
+        }
+    }
+
+    /// The banded form of [`SafetyMap::compute_packed`]: fills the dense
+    /// level grid in horizontal bands of whole rows on scoped threads.
+    ///
+    /// Bands are independent — East/West entries come straight off each
+    /// band's own packed rows, and North/South entries off per-column
+    /// cursors into a shared [`LaneIndex`] of the obstacles (a column's
+    /// nearest-obstacle distances need only the sorted obstacle rows of
+    /// that column, not the rows of other bands) — so the result is
+    /// bit-identical to the sequential kernel for every band count,
+    /// including 1 (`banded_compute_matches_scalar_for_every_band_count`
+    /// and the `tiled-matches-scalar` conform oracle pin this).
+    pub fn compute_packed_banded(blocked: &BitGrid, bands: usize) -> SafetyMap {
+        let mesh = blocked.mesh();
+        let height = usize::try_from(mesh.height()).unwrap_or(1);
+        let rows_per_band = height.div_ceil(bands.clamp(1, height));
+        if height.div_ceil(rows_per_band) == 1 {
+            return SafetyMap::compute_packed(blocked);
+        }
+        let lanes = LaneIndex::from_packed(blocked);
+        let width = usize::try_from(mesh.width()).unwrap_or(0);
+        let mut levels = Grid::new(mesh, SafetyLevel::UNBOUNDED);
+        std::thread::scope(|s| {
+            for (b, band) in levels
+                .as_mut_slice()
+                .chunks_mut(rows_per_band * width)
+                .enumerate()
+            {
+                let lanes = &lanes;
+                s.spawn(move || fill_band(blocked, lanes, band, b * rows_per_band, width));
+            }
+        });
+        SafetyMap {
+            repr: Repr::Dense(levels),
+        }
+    }
+
+    /// Computes the memory-lean form: the sorted-lane obstacle index
+    /// itself, with levels derived per query. One row-major pass over the
+    /// packed grid; the footprint is two `u32` entries per obstacle plus
+    /// one spine per lane — at the paper's fault rates orders of magnitude
+    /// below the 16 bytes per node of the dense layout.
+    pub fn compute_packed_lean(blocked: &BitGrid) -> SafetyMap {
+        SafetyMap {
+            repr: Repr::Lean(LaneIndex::from_packed(blocked)),
+        }
+    }
+
+    /// Whether this map uses the lean sorted-lane storage.
+    pub fn is_lean(&self) -> bool {
+        matches!(self.repr, Repr::Lean(_))
     }
 
     /// Computes the safety levels under the faulty-block model.
@@ -198,7 +273,10 @@ impl SafetyMap {
 
     /// The mesh covered.
     pub fn mesh(&self) -> Mesh {
-        self.levels.mesh()
+        match &self.repr {
+            Repr::Dense(levels) => levels.mesh(),
+            Repr::Lean(lanes) => lanes.mesh(),
+        }
     }
 
     /// The safety level of node `c`.
@@ -207,7 +285,10 @@ impl SafetyMap {
     ///
     /// Panics if `c` is outside the mesh.
     pub fn level(&self, c: Coord) -> SafetyLevel {
-        self.levels[c]
+        match &self.repr {
+            Repr::Dense(levels) => levels[c],
+            Repr::Lean(lanes) => lean_level(lanes, c),
+        }
     }
 
     /// Incrementally repairs the map after obstacles changed inside
@@ -225,61 +306,27 @@ impl SafetyMap {
     /// whole mesh; `changed` must contain every node whose blocked status
     /// flipped (extra area is harmless, just slower).
     pub fn resweep_rect(&mut self, is_blocked: impl Fn(Coord) -> bool, changed: Rect) {
-        let mesh = self.levels.mesh();
-        for dir in Direction::ALL {
-            let (lo, hi) = if dir.is_horizontal() {
-                (
-                    changed.y_min().max(0),
-                    changed.y_max().min(mesh.height() - 1),
-                )
-            } else {
-                (
-                    changed.x_min().max(0),
-                    changed.x_max().min(mesh.width() - 1),
-                )
-            };
-            for lane in lo..=hi {
-                self.sweep_lane(&is_blocked, dir, lane);
-            }
-        }
-    }
-
-    /// Recomputes the `dir` entries of one lane (a row for horizontal
-    /// directions, a column for vertical ones), mirroring the walk order
-    /// of `esl::compute_global_into`. Blocked nodes get their swept entry
-    /// reset to `∞`, matching the full sweep, which never writes them and
-    /// leaves the `ESL_DEFAULT` fill.
-    fn sweep_lane(&mut self, is_blocked: &impl Fn(Coord) -> bool, dir: Direction, lane: i32) {
-        let mesh = self.levels.mesh();
-        let horizontal = dir.is_horizontal();
-        let len = if horizontal {
-            mesh.width()
-        } else {
-            mesh.height()
-        };
-        let mut dist = UNBOUNDED;
-        for i in 0..len {
-            // Walk starting from the `dir` end of the lane.
-            let along = match dir {
-                Direction::East => mesh.width() - 1 - i,
-                Direction::West => i,
-                Direction::North => mesh.height() - 1 - i,
-                Direction::South => i,
-            };
-            let c = if horizontal {
-                Coord::new(along, lane)
-            } else {
-                Coord::new(lane, along)
-            };
-            if is_blocked(c) {
-                dist = 0;
-                self.levels[c].dists[dir.index()] = UNBOUNDED;
-            } else {
-                if dist != UNBOUNDED {
-                    dist += 1;
+        let mesh = self.mesh();
+        match &mut self.repr {
+            Repr::Dense(levels) => {
+                for dir in Direction::ALL {
+                    let (lo, hi) = if dir.is_horizontal() {
+                        (
+                            changed.y_min().max(0),
+                            changed.y_max().min(mesh.height() - 1),
+                        )
+                    } else {
+                        (
+                            changed.x_min().max(0),
+                            changed.x_max().min(mesh.width() - 1),
+                        )
+                    };
+                    for lane in lo..=hi {
+                        sweep_lane(levels, &is_blocked, dir, lane);
+                    }
                 }
-                self.levels[c].dists[dir.index()] = dist;
             }
+            Repr::Lean(lanes) => lanes.refresh_rect_with(is_blocked, clip_rect(changed, mesh)),
         }
     }
 
@@ -293,10 +340,17 @@ impl SafetyMap {
     /// `packed` must be the *post-change* obstacle grid for the whole
     /// mesh; `changed` must contain every flipped node.
     pub fn resweep_rect_packed(&mut self, packed: &BitGrid, changed: Rect) {
-        let mesh = self.levels.mesh();
+        let mesh = self.mesh();
         debug_assert_eq!(mesh, packed.mesh(), "packed grid covers another mesh");
+        let levels = match &mut self.repr {
+            Repr::Dense(levels) => levels,
+            Repr::Lean(lanes) => {
+                lanes.refresh_rect(packed, clip_rect(changed, mesh));
+                return;
+            }
+        };
         let width = usize::try_from(mesh.width()).unwrap_or(0);
-        let slice = self.levels.as_mut_slice();
+        let slice = levels.as_mut_slice();
         let y_lo = changed.y_min().max(0);
         let y_hi = changed.y_max().min(mesh.height() - 1);
         for y in y_lo..=y_hi {
@@ -314,6 +368,171 @@ impl SafetyMap {
                 sweep_col_packed(col, slice, usize::try_from(x).unwrap_or(0), width, false);
             }
         });
+    }
+}
+
+/// Maps with the same per-node levels are equal regardless of storage
+/// layout: same-layout pairs compare their representations directly
+/// (both are canonical for the level function), mixed pairs compare
+/// node by node.
+impl PartialEq for SafetyMap {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            (Repr::Lean(a), Repr::Lean(b)) => a == b,
+            _ => {
+                self.mesh() == other.mesh()
+                    && self.mesh().nodes().all(|c| self.level(c) == other.level(c))
+            }
+        }
+    }
+}
+
+impl Eq for SafetyMap {}
+
+impl MemBytes for SafetyMap {
+    fn mem_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Dense(levels) => levels.mem_bytes(),
+            Repr::Lean(lanes) => lanes.mem_bytes(),
+        }
+    }
+}
+
+/// `rect` intersected with `mesh`'s bounds (the resweep entry points
+/// accept rects that overhang the mesh edge; the lane refreshes do not).
+fn clip_rect(rect: Rect, mesh: Mesh) -> Rect {
+    Rect::new(
+        rect.x_min().max(0),
+        rect.x_max().min(mesh.width() - 1),
+        rect.y_min().max(0),
+        rect.y_max().min(mesh.height() - 1),
+    )
+}
+
+/// The safety level of `c` derived from the sorted obstacle lanes: one
+/// binary search per axis finds the nearest obstacle on either side.
+/// Obstacle nodes answer all-`∞`, matching the dense sweeps, which never
+/// write them.
+///
+/// # Panics
+///
+/// Panics if `c` is outside the mesh.
+fn lean_level(lanes: &LaneIndex, c: Coord) -> SafetyLevel {
+    let row = lanes.row(c.y);
+    let x = u32::try_from(c.x).unwrap_or(u32::MAX);
+    let ri = row.partition_point(|&p| p < x);
+    if row.get(ri) == Some(&x) {
+        return SafetyLevel::UNBOUNDED;
+    }
+    let mut dists = [UNBOUNDED; 4];
+    if let Some(&p) = row.get(ri) {
+        dists[Direction::East.index()] = p - x;
+    }
+    if ri > 0 {
+        dists[Direction::West.index()] = x - row[ri - 1];
+    }
+    let col = lanes.col(c.x);
+    let y = u32::try_from(c.y).unwrap_or(u32::MAX);
+    let ci = col.partition_point(|&p| p < y);
+    if let Some(&p) = col.get(ci) {
+        dists[Direction::North.index()] = p - y;
+    }
+    if ci > 0 {
+        dists[Direction::South.index()] = y - col[ci - 1];
+    }
+    SafetyLevel { dists }
+}
+
+/// Recomputes the `dir` entries of one lane (a row for horizontal
+/// directions, a column for vertical ones), mirroring the walk order
+/// of `esl::compute_global_into`. Blocked nodes get their swept entry
+/// reset to `∞`, matching the full sweep, which never writes them and
+/// leaves the `ESL_DEFAULT` fill.
+fn sweep_lane(
+    levels: &mut Grid<SafetyLevel>,
+    is_blocked: &impl Fn(Coord) -> bool,
+    dir: Direction,
+    lane: i32,
+) {
+    let mesh = levels.mesh();
+    let horizontal = dir.is_horizontal();
+    let len = if horizontal {
+        mesh.width()
+    } else {
+        mesh.height()
+    };
+    let mut dist = UNBOUNDED;
+    for i in 0..len {
+        // Walk starting from the `dir` end of the lane.
+        let along = match dir {
+            Direction::East => mesh.width() - 1 - i,
+            Direction::West => i,
+            Direction::North => mesh.height() - 1 - i,
+            Direction::South => i,
+        };
+        let c = if horizontal {
+            Coord::new(along, lane)
+        } else {
+            Coord::new(lane, along)
+        };
+        if is_blocked(c) {
+            dist = 0;
+            levels[c].dists[dir.index()] = UNBOUNDED;
+        } else {
+            if dist != UNBOUNDED {
+                dist += 1;
+            }
+            levels[c].dists[dir.index()] = dist;
+        }
+    }
+}
+
+/// Fills one row band of the dense level grid for
+/// [`SafetyMap::compute_packed_banded`]: East/West off the band's packed
+/// rows, North/South via amortized cursors into the sorted column lanes
+/// (each cursor starts at the first obstacle at or below the band and
+/// only ever advances). Virgin semantics: only finite entries are
+/// written; obstacle nodes keep the `∞` fill.
+fn fill_band(
+    blocked: &BitGrid,
+    lanes: &LaneIndex,
+    band: &mut [SafetyLevel],
+    r0: usize,
+    width: usize,
+) {
+    let nrows = band.len() / width;
+    for r in 0..nrows {
+        let y = i32::try_from(r0 + r).unwrap_or(i32::MAX);
+        sweep_row_packed(blocked.row(y), &mut band[r * width..(r + 1) * width], true);
+    }
+    let n = Direction::North.index();
+    let s = Direction::South.index();
+    let mut cursor: Vec<usize> = (0..width)
+        .map(|x| {
+            lanes
+                .col(i32::try_from(x).unwrap_or(i32::MAX))
+                .partition_point(|&p| (p as usize) < r0)
+        })
+        .collect();
+    for r in 0..nrows {
+        let y = u32::try_from(r0 + r).unwrap_or(u32::MAX);
+        let row = &mut band[r * width..(r + 1) * width];
+        for (x, l) in row.iter_mut().enumerate() {
+            let col = lanes.col(i32::try_from(x).unwrap_or(i32::MAX));
+            let k = &mut cursor[x];
+            while *k < col.len() && col[*k] < y {
+                *k += 1;
+            }
+            match col.get(*k) {
+                Some(&p) if p == y => continue, // obstacle node: stays ∞
+                Some(&p) => l.dists[n] = p - y,
+                None => {}
+            }
+            if *k > 0 {
+                l.dists[s] = y - col[*k - 1];
+            }
+        }
     }
 }
 
@@ -563,6 +782,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn banded_compute_matches_scalar_for_every_band_count() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Word-straddling widths (4095/4097 cross the ×64 boundary) and
+        // heights that leave ragged final bands.
+        let shapes = [
+            (8, 8),
+            (65, 7),
+            (130, 4),
+            (1, 9),
+            (4095, 2),
+            (4097, 2),
+            (3, 70),
+        ];
+        for (w, h) in shapes {
+            let mesh = Mesh::new(w, h);
+            for seed in 0..4u64 {
+                let mut rng = StdRng::seed_from_u64(0x5CA1E + seed);
+                let cells: Vec<bool> = (0..mesh.node_count()).map(|_| rng.gen_bool(0.12)).collect();
+                let packed = BitGrid::from_blocked(mesh, |c| cells[mesh.index_of(c)]);
+                let scalar = SafetyMap::compute_packed(&packed);
+                for bands in [1, 2, 3, 5, 64] {
+                    assert_eq!(
+                        SafetyMap::compute_packed_banded(&packed, bands),
+                        scalar,
+                        "{w}x{h} seed {seed} bands {bands}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lean_levels_match_dense_everywhere() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (w, h) in [(8, 8), (65, 7), (1, 9), (70, 3)] {
+            let mesh = Mesh::new(w, h);
+            for seed in 0..4u64 {
+                let mut rng = StdRng::seed_from_u64(0x1EA4 + seed);
+                let cells: Vec<bool> = (0..mesh.node_count()).map(|_| rng.gen_bool(0.15)).collect();
+                let packed = BitGrid::from_blocked(mesh, |c| cells[mesh.index_of(c)]);
+                let dense = SafetyMap::compute_packed(&packed);
+                let lean = SafetyMap::compute_packed_lean(&packed);
+                assert!(lean.is_lean() && !dense.is_lean());
+                for c in mesh.nodes() {
+                    assert_eq!(lean.level(c), dense.level(c), "{w}x{h} seed {seed} {c}");
+                }
+                // Semantic equality crosses storage layouts, both ways.
+                assert_eq!(lean, dense);
+                assert_eq!(dense, lean);
+            }
+        }
+    }
+
+    #[test]
+    fn lean_resweeps_match_fresh_builds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (w, h) in [(8, 8), (11, 3), (70, 2)] {
+            let mesh = Mesh::new(w, h);
+            for seed in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut blocks = BlockMap::build(&FaultSet::new(mesh));
+                let mut packed_swept = SafetyMap::compute_packed_lean(blocks.packed());
+                let mut pred_swept = SafetyMap::compute_packed_lean(blocks.packed());
+                for _ in 0..(w * h / 5).clamp(2, 10) {
+                    let c = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+                    let rect = blocks.insert_fault(c);
+                    packed_swept.resweep_rect_packed(blocks.packed(), rect);
+                    pred_swept.resweep_rect(|v| blocks.is_blocked(v), rect);
+                    let fresh = SafetyMap::compute_packed_lean(blocks.packed());
+                    assert_eq!(packed_swept, fresh, "{w}x{h} seed {seed} after {c}");
+                    assert_eq!(pred_swept, fresh, "{w}x{h} seed {seed} after {c}");
+                    // And the lean state agrees with the dense truth.
+                    assert_eq!(packed_swept, SafetyMap::compute_packed(blocks.packed()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mem_bytes_tracks_storage_layout() {
+        let mesh = Mesh::new(64, 64);
+        let packed = BitGrid::from_blocked(mesh, |c| c.x == 10 && c.y == 20);
+        let dense = SafetyMap::compute_packed(&packed);
+        let lean = SafetyMap::compute_packed_lean(&packed);
+        assert_eq!(dense.mem_bytes(), 64 * 64 * 16);
+        // One obstacle: two u32 entries plus the per-lane spines.
+        assert!(lean.mem_bytes() < dense.mem_bytes() / 4);
     }
 
     #[test]

@@ -3,7 +3,7 @@ use std::sync::OnceLock;
 use serde::{Deserialize, Serialize};
 
 use emr_fault::{BlockMap, FaultSet, MccMap, MccType};
-use emr_mesh::{Coord, Grid, Mesh, Rect};
+use emr_mesh::{Coord, Grid, MemBytes, Mesh, Rect};
 
 use crate::boundary::BoundaryMap;
 use crate::safety::{SafetyLevel, SafetyMap};
@@ -26,6 +26,58 @@ impl Model {
     pub const ALL: [Model; 2] = [Model::FaultBlock, Model::Mcc];
 }
 
+/// How a [`Scenario`] builds and stores its derived maps.
+///
+/// The default profile ([`BuildProfile::auto`]) keeps small meshes on the
+/// exact code paths they always used — sequential single-band builds and
+/// dense safety grids — and switches giant meshes to the banded
+/// construction kernels and the lean sorted-lane safety storage. Banded
+/// builds are bit-identical to sequential ones for every band count and
+/// lean maps answer every query identically to dense ones, so the
+/// profile affects wall-clock time and resident bytes, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildProfile {
+    /// Horizontal row bands for the tiled construction kernels
+    /// (block fix-point, MCC label planes, safety fills); `1` selects the
+    /// sequential kernels.
+    pub bands: usize,
+    /// Store safety maps as sorted obstacle lanes (bytes ∝ faults)
+    /// instead of dense level grids (16 bytes per node).
+    pub lean_safety: bool,
+}
+
+impl BuildProfile {
+    /// The sequential dense profile: exactly the pre-tiling behavior.
+    pub const SCALAR: BuildProfile = BuildProfile {
+        bands: 1,
+        lean_safety: false,
+    };
+
+    /// Picks a profile for `mesh`: sequential and dense below 2¹⁸ nodes
+    /// (≈ 512×512, where per-round thread-scope overhead and lane binary
+    /// searches cost more than they save), banded across the machine's
+    /// cores from there, and lean safety storage from 2²⁰ nodes
+    /// (≥ 1024×1024, where three dense maps alone exceed 48 bytes/node).
+    pub fn auto(mesh: Mesh) -> BuildProfile {
+        let nodes = mesh.node_count();
+        let bands = if nodes >= 1 << 18 {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(16))
+        } else {
+            1
+        };
+        BuildProfile {
+            bands,
+            lean_safety: nodes >= 1 << 20,
+        }
+    }
+}
+
+impl Default for BuildProfile {
+    fn default() -> BuildProfile {
+        BuildProfile::SCALAR
+    }
+}
+
 /// One fault configuration, decomposed under both fault models with the
 /// corresponding safety maps.
 ///
@@ -40,15 +92,18 @@ impl Model {
 pub struct Scenario {
     faults: FaultSet,
     blocks: BlockMap,
+    profile: BuildProfile,
     mcc: [OnceLock<MccMap>; 2],
     block_safety: OnceLock<SafetyMap>,
     mcc_safety: [OnceLock<SafetyMap>; 2],
 }
 
 impl Scenario {
-    /// Decomposes a fault set under both models.
+    /// Decomposes a fault set under both models, with the build strategy
+    /// picked by [`BuildProfile::auto`] for the mesh size.
     pub fn build(faults: FaultSet) -> Scenario {
-        emr_fault::workspace::with_scratch(|ws| Scenario::build_with(faults, ws))
+        let profile = BuildProfile::auto(faults.mesh());
+        Scenario::build_profiled(faults, profile)
     }
 
     /// [`Scenario::build`] reusing a caller-owned scratch
@@ -56,23 +111,59 @@ impl Scenario {
     /// maps cannot borrow the workspace (they initialize at arbitrary
     /// later call sites), so they fall back to the thread-local scratch.
     pub fn build_with(faults: FaultSet, ws: &mut emr_fault::Workspace) -> Scenario {
-        let blocks = BlockMap::build_with(&faults, ws);
+        let profile = BuildProfile::auto(faults.mesh());
+        Scenario::build_profiled_with(faults, profile, ws)
+    }
+
+    /// Decomposes a fault set under an explicit [`BuildProfile`].
+    pub fn build_profiled(faults: FaultSet, profile: BuildProfile) -> Scenario {
+        emr_fault::workspace::with_scratch(|ws| Scenario::build_profiled_with(faults, profile, ws))
+    }
+
+    /// [`Scenario::build_profiled`] on a caller-owned scratch workspace.
+    pub fn build_profiled_with(
+        faults: FaultSet,
+        profile: BuildProfile,
+        ws: &mut emr_fault::Workspace,
+    ) -> Scenario {
+        let blocks = if profile.bands > 1 {
+            BlockMap::build_banded(&faults, profile.bands)
+        } else {
+            BlockMap::build_with(&faults, ws)
+        };
         Scenario {
             faults,
             blocks,
+            profile,
             mcc: [OnceLock::new(), OnceLock::new()],
             block_safety: OnceLock::new(),
             mcc_safety: [OnceLock::new(), OnceLock::new()],
         }
     }
 
+    /// The build strategy this scenario was constructed with (its lazy
+    /// maps inherit it).
+    pub fn profile(&self) -> BuildProfile {
+        self.profile
+    }
+
+    fn safety_for(&self, packed: &emr_mesh::BitGrid) -> SafetyMap {
+        if self.profile.lean_safety {
+            SafetyMap::compute_packed_lean(packed)
+        } else if self.profile.bands > 1 {
+            SafetyMap::compute_packed_banded(packed, self.profile.bands)
+        } else {
+            SafetyMap::compute_packed(packed)
+        }
+    }
+
     fn block_safety(&self) -> &SafetyMap {
         self.block_safety
-            .get_or_init(|| SafetyMap::for_blocks(&self.blocks))
+            .get_or_init(|| self.safety_for(self.blocks.packed()))
     }
 
     fn mcc_safety(&self, ty: MccType) -> &SafetyMap {
-        self.mcc_safety[mcc_index(ty)].get_or_init(|| SafetyMap::for_mcc(self.mcc(ty)))
+        self.mcc_safety[mcc_index(ty)].get_or_init(|| self.safety_for(self.mcc(ty).packed()))
     }
 
     /// The safety map under the faulty-block model (built on first use).
@@ -159,7 +250,13 @@ impl Scenario {
 
     /// The MCC decomposition for one labeling type (built on first use).
     pub fn mcc(&self, ty: MccType) -> &MccMap {
-        self.mcc[mcc_index(ty)].get_or_init(|| MccMap::build(&self.faults, ty))
+        self.mcc[mcc_index(ty)].get_or_init(|| {
+            if self.profile.bands > 1 {
+                MccMap::build_banded(&self.faults, ty, self.profile.bands)
+            } else {
+                MccMap::build(&self.faults, ty)
+            }
+        })
     }
 
     /// A view of this scenario under one fault model; most conditions and
@@ -210,6 +307,29 @@ impl Scenario {
         let mcc = self.mcc(ty);
         let blocked = Grid::from_fn(mesh, |c| mcc.is_blocked(c));
         BoundaryMap::compute(&mesh, mcc.rects(), &blocked)
+    }
+}
+
+/// Resident payload bytes of the fault set, the block decomposition, and
+/// every *materialized* lazy map (still-lazy maps contribute nothing, so
+/// a freshly built scenario reports only its eager state).
+impl MemBytes for Scenario {
+    fn mem_bytes(&self) -> u64 {
+        let mut total = self.faults.mem_bytes() + self.blocks.mem_bytes();
+        for lock in &self.mcc {
+            if let Some(m) = lock.get() {
+                total += m.mem_bytes();
+            }
+        }
+        if let Some(m) = self.block_safety.get() {
+            total += m.mem_bytes();
+        }
+        for lock in &self.mcc_safety {
+            if let Some(m) = lock.get() {
+                total += m.mem_bytes();
+            }
+        }
+        total
     }
 }
 
@@ -302,6 +422,66 @@ mod tests {
         let faults =
             FaultSet::from_coords(mesh, [Coord::new(5, 5), Coord::new(6, 6), Coord::new(2, 9)]);
         Scenario::build(faults)
+    }
+
+    #[test]
+    fn profiled_builds_match_scalar() {
+        let mesh = Mesh::new(70, 40);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [
+                Coord::new(5, 5),
+                Coord::new(6, 6),
+                Coord::new(64, 30),
+                Coord::new(65, 31),
+                Coord::new(2, 39),
+            ],
+        );
+        let scalar = Scenario::build_profiled(faults.clone(), BuildProfile::SCALAR);
+        let profiles = [
+            BuildProfile {
+                bands: 3,
+                lean_safety: false,
+            },
+            BuildProfile {
+                bands: 4,
+                lean_safety: true,
+            },
+        ];
+        for profile in profiles {
+            let sc = Scenario::build_profiled(faults.clone(), profile);
+            assert_eq!(sc.profile(), profile);
+            assert_eq!(sc.blocks(), scalar.blocks(), "{profile:?}");
+            assert_eq!(
+                sc.block_safety_map(),
+                scalar.block_safety_map(),
+                "{profile:?}"
+            );
+            for ty in MccType::ALL {
+                assert_eq!(sc.mcc(ty), scalar.mcc(ty), "{profile:?} {ty:?}");
+                assert_eq!(
+                    sc.mcc_safety_map(ty),
+                    scalar.mcc_safety_map(ty),
+                    "{profile:?} {ty:?}"
+                );
+            }
+            assert_eq!(
+                sc.block_safety_map().is_lean(),
+                profile.lean_safety,
+                "{profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_bytes_grows_as_lazy_maps_materialize() {
+        let sc = scenario();
+        let eager = sc.mem_bytes();
+        sc.block_safety_map();
+        let with_safety = sc.mem_bytes();
+        assert!(with_safety > eager);
+        sc.mcc(MccType::One);
+        assert!(sc.mem_bytes() > with_safety);
     }
 
     #[test]

@@ -2,7 +2,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{BitGrid, Coord, Direction, Grid, Mesh, Rect};
+use emr_mesh::{BitGrid, Coord, Direction, Grid, MemBytes, Mesh, Rect};
 
 use crate::block_bits;
 use crate::workspace::{with_scratch, Workspace};
@@ -107,12 +107,30 @@ impl BlockMap {
     /// for the fix-point row buffers (the per-node state grid is part of
     /// the returned map and always allocated).
     pub fn build_with(faults: &FaultSet, ws: &mut Workspace) -> BlockMap {
-        let mesh = faults.mesh();
         let mut packed = faults.packed().clone();
         block_bits::disable_fixpoint(&mut packed, &mut ws.row_open, &mut ws.row_cur);
+        BlockMap::decode(packed, faults)
+    }
 
-        // Decode the packed labeling into the per-node state grid:
-        // blocked bits are Disabled unless genuinely faulty.
+    /// [`BlockMap::build`] with the fix-point split into `bands`
+    /// horizontal row bands relaxed on scoped threads — intra-mesh
+    /// parallelism for giant meshes, where one build dominates a trial.
+    /// The result is bit-identical to [`BlockMap::build`] for every band
+    /// count (the fix-point is unique; see
+    /// `crate::block_bits::disable_fixpoint_banded` for the argument);
+    /// `bands` is clamped to the mesh height, and 1 band runs the
+    /// sequential kernel without spawning.
+    pub fn build_banded(faults: &FaultSet, bands: usize) -> BlockMap {
+        let mut packed = faults.packed().clone();
+        block_bits::disable_fixpoint_banded(&mut packed, bands);
+        BlockMap::decode(packed, faults)
+    }
+
+    /// Decodes a converged packed blocked labeling into the full map:
+    /// per-node states, packed bits, and the extracted block rectangles.
+    fn decode(packed: BitGrid, faults: &FaultSet) -> BlockMap {
+        let mesh = faults.mesh();
+        // Blocked bits are Disabled unless genuinely faulty.
         let mut state = Grid::new(mesh, NodeState::Enabled);
         let width = mesh.width() as usize;
         {
@@ -348,6 +366,17 @@ impl BlockMap {
     }
 }
 
+impl MemBytes for BlockMap {
+    /// The per-node state grid, the packed blocked bits, and the block
+    /// list with its cached rectangles.
+    fn mem_bytes(&self) -> u64 {
+        self.state.mem_bytes()
+            + self.packed.mem_bytes()
+            + (self.blocks.len() * std::mem::size_of::<FaultyBlock>()) as u64
+            + (self.rects.len() * std::mem::size_of::<Rect>()) as u64
+    }
+}
+
 fn extract_blocks(mesh: Mesh, state: &Grid<NodeState>, ws: &mut Workspace) -> Vec<FaultyBlock> {
     let Workspace { queue, visited, .. } = ws;
     visited.reset(mesh, false);
@@ -558,6 +587,41 @@ mod tests {
                 let scalar = BlockMap::build_scalar(&faults);
                 assert_eq!(bits, scalar, "seed {seed} {w}x{h}");
                 assert!(bits.rect_invariant_holds());
+            }
+        }
+    }
+
+    #[test]
+    fn banded_build_matches_scalar_for_every_band_count() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Awkward widths (word boundaries, 4095/4097-style non-×64 tails
+        // on thin meshes) and band counts from degenerate to
+        // beyond-height.
+        let shapes = [
+            (16, 16),
+            (65, 7),
+            (127, 5),
+            (130, 4),
+            (4095, 2),
+            (4097, 2),
+            (1, 9),
+        ];
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for &(w, h) in &shapes {
+                let mesh = Mesh::new(w, h);
+                let mut faults = FaultSet::new(mesh);
+                for c in mesh.nodes() {
+                    if rng.gen_bool(0.12) {
+                        faults.insert(c);
+                    }
+                }
+                let scalar = BlockMap::build_scalar(&faults);
+                for bands in [1, 2, 3, 5, 64] {
+                    let banded = BlockMap::build_banded(&faults, bands);
+                    assert_eq!(banded, scalar, "seed {seed} {w}x{h} bands {bands}");
+                }
             }
         }
     }

@@ -1,11 +1,14 @@
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{BitGrid, Coord, Grid, Mesh};
+use emr_mesh::{BitGrid, Coord, MemBytes, Mesh};
 
 /// A set of faulty nodes in a mesh.
 ///
-/// Keeps both a dense membership grid (for O(1) queries during labeling)
+/// Keeps a packed membership bitset (one bit per node, O(1) queries
+/// during labeling and the direct input of the word-parallel kernels)
 /// and the fault list in insertion order (for deterministic iteration).
+/// At giant mesh sizes the bitset is the only per-node storage — an
+/// eighth of a byte per node.
 ///
 /// # Examples
 ///
@@ -22,7 +25,6 @@ use emr_mesh::{BitGrid, Coord, Grid, Mesh};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSet {
     mesh: Mesh,
-    faulty: Grid<bool>,
     packed: BitGrid,
     list: Vec<Coord>,
 }
@@ -32,7 +34,6 @@ impl FaultSet {
     pub fn new(mesh: Mesh) -> Self {
         FaultSet {
             mesh,
-            faulty: Grid::new(mesh, false),
             packed: BitGrid::new(mesh),
             list: Vec::new(),
         }
@@ -64,10 +65,9 @@ impl FaultSet {
     /// Panics if `c` lies outside the mesh.
     pub fn insert(&mut self, c: Coord) -> bool {
         assert!(self.mesh.contains(c), "fault {c} outside mesh");
-        if self.faulty[c] {
+        if self.packed.get(c) == Some(true) {
             return false;
         }
-        self.faulty[c] = true;
         self.packed.set(c, true);
         self.list.push(c);
         true
@@ -83,7 +83,7 @@ impl FaultSet {
 
     /// Whether `c` is faulty. Coordinates outside the mesh are never faulty.
     pub fn is_faulty(&self, c: Coord) -> bool {
-        self.faulty.get(c).copied().unwrap_or(false)
+        self.packed.get(c).unwrap_or(false)
     }
 
     /// The number of faulty nodes.
@@ -99,6 +99,12 @@ impl FaultSet {
     /// Iterates over the faulty nodes in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
         self.list.iter().copied()
+    }
+}
+
+impl MemBytes for FaultSet {
+    fn mem_bytes(&self) -> u64 {
+        self.packed.mem_bytes() + (self.list.len() * std::mem::size_of::<Coord>()) as u64
     }
 }
 

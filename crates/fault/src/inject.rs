@@ -43,27 +43,16 @@ pub fn uniform(mesh: Mesh, count: usize, forbidden: &[Coord], rng: &mut impl Rng
     );
     // Partial Fisher–Yates over the virtual identity table 0..eligible;
     // `touched` holds only the entries that differ from the identity.
-    let mut touched: Vec<(usize, usize)> = Vec::with_capacity(2 * count);
-    let lookup = |touched: &[(usize, usize)], p: usize| {
-        touched
-            .iter()
-            .find(|&&(q, _)| q == p)
-            .map_or(p, |&(_, v)| v)
-    };
-    let set = |touched: &mut Vec<(usize, usize)>, p: usize, v: usize| match touched
-        .iter_mut()
-        .find(|(q, _)| *q == p)
-    {
-        Some(entry) => entry.1 = v,
-        None => touched.push((p, v)),
-    };
+    // A map keeps lookup O(log count) — the linear-probe version this
+    // replaces went quadratic in `count` and dominated giant-mesh trials.
+    let mut touched: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     let width = usize::try_from(mesh.width()).unwrap_or(1);
     let chosen = (0..count).map(|i| {
         let j = i + (rng.next_u64() as usize) % (eligible - i);
-        let vi = lookup(&touched, i);
-        let vj = lookup(&touched, j);
-        set(&mut touched, i, vj);
-        set(&mut touched, j, vi);
+        let vi = touched.get(&i).copied().unwrap_or(i);
+        let vj = touched.get(&j).copied().unwrap_or(j);
+        touched.insert(i, vj);
+        touched.insert(j, vi);
         // The picked eligible rank, mapped to a node index by re-inserting
         // the excluded slots below it.
         let mut ni = vj;

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use emr_mesh::{BitGrid, Coord, Direction, Grid, Mesh, Quadrant, Rect};
+use emr_mesh::{BitGrid, Coord, Direction, Grid, MemBytes, Mesh, Quadrant, Rect};
 
 use crate::workspace::{with_scratch, Workspace};
 use crate::{block_bits, mcc_bits, FaultSet};
@@ -169,12 +169,7 @@ impl MccMap {
     pub fn build_with(faults: &FaultSet, ty: MccType, ws: &mut Workspace) -> MccMap {
         let mesh = faults.mesh();
         let (fwd, bwd) = type_dirs(ty);
-
-        let mut status = Grid::new(mesh, MccStatus::FaultFree);
-        let mut useless = Grid::new(mesh, false);
-        let mut cant_reach = Grid::new(mesh, false);
-        let mut packed = faults.packed().clone();
-        {
+        let (status, useless, cant_reach, packed) = {
             let Workspace {
                 bits_a,
                 bits_b,
@@ -184,33 +179,50 @@ impl MccMap {
             } = ws;
             mcc_bits::label_plane(faults.packed(), fwd, bits_a, row_open, row_cur);
             mcc_bits::label_plane(faults.packed(), bwd, bits_b, row_open, row_cur);
-
-            // Decode the packed planes. Write order encodes the status
-            // priority: faulty > useless > can't-reach.
-            let width = mesh.width() as usize;
-            let st = status.as_mut_slice();
-            let ul = useless.as_mut_slice();
-            let cr = cant_reach.as_mut_slice();
-            for y in 0..mesh.height() {
-                let base = y as usize * width;
-                block_bits::for_each_set_bit(bits_b.row(y), |x| {
-                    cr[base + x] = true;
-                    st[base + x] = MccStatus::CantReach;
-                });
-                block_bits::for_each_set_bit(bits_a.row(y), |x| {
-                    ul[base + x] = true;
-                    st[base + x] = MccStatus::Useless;
-                });
-                block_bits::for_each_set_bit(faults.packed().row(y), |x| {
-                    st[base + x] = MccStatus::Faulty;
-                });
-                let packed_row = packed.row_mut(y);
-                for (i, w) in packed_row.iter_mut().enumerate() {
-                    *w |= bits_a.row(y)[i] | bits_b.row(y)[i];
-                }
-            }
+            decode_planes(faults, bits_a, bits_b)
+        };
+        let components = extract_components(mesh, &status, ws);
+        let rects = components.iter().map(|m| m.rect).collect();
+        MccMap {
+            mesh,
+            ty,
+            status,
+            packed,
+            components,
+            rects,
+            useless,
+            cant_reach,
         }
+    }
 
+    /// [`MccMap::build`] with both label-plane sweeps split into `bands`
+    /// horizontal row bands relaxed on scoped threads — intra-mesh
+    /// parallelism for giant meshes. Bit-identical to [`MccMap::build`]
+    /// for every band count (see
+    /// `crate::mcc_bits::label_plane_banded` for the fix-point
+    /// uniqueness argument); `bands` is clamped to the mesh height, and
+    /// 1 band runs the sequential sweeps without spawning.
+    pub fn build_banded(faults: &FaultSet, ty: MccType, bands: usize) -> MccMap {
+        with_scratch(|ws| MccMap::build_banded_with(faults, ty, bands, ws))
+    }
+
+    /// [`MccMap::build_banded`] reusing a caller-owned scratch
+    /// [`Workspace`] for the packed label planes and the
+    /// component-extraction buffers.
+    pub fn build_banded_with(
+        faults: &FaultSet,
+        ty: MccType,
+        bands: usize,
+        ws: &mut Workspace,
+    ) -> MccMap {
+        let mesh = faults.mesh();
+        let (fwd, bwd) = type_dirs(ty);
+        let (status, useless, cant_reach, packed) = {
+            let Workspace { bits_a, bits_b, .. } = ws;
+            mcc_bits::label_plane_banded(faults.packed(), fwd, bits_a, bands);
+            mcc_bits::label_plane_banded(faults.packed(), bwd, bits_b, bands);
+            decode_planes(faults, bits_a, bits_b)
+        };
         let components = extract_components(mesh, &status, ws);
         let rects = components.iter().map(|m| m.rect).collect();
         MccMap {
@@ -428,6 +440,65 @@ impl MccMap {
         rects.extend(components.iter().map(|m| m.rect));
         changed
     }
+}
+
+impl MemBytes for MccMap {
+    /// The status grid, both exact label planes, the packed bits, and
+    /// the component list (each component carries its node set).
+    fn mem_bytes(&self) -> u64 {
+        let components: usize = self
+            .components
+            .iter()
+            .map(|m| std::mem::size_of::<Mcc>() + m.nodes.len() * std::mem::size_of::<Coord>())
+            .sum();
+        self.status.mem_bytes()
+            + self.useless.mem_bytes()
+            + self.cant_reach.mem_bytes()
+            + self.packed.mem_bytes()
+            + (components + self.rects.len() * std::mem::size_of::<Rect>()) as u64
+    }
+}
+
+/// Decodes the two packed label planes into the per-node status grid,
+/// the exact per-plane boolean grids, and the combined packed blocked
+/// bits. Write order encodes the status priority:
+/// faulty > useless > can't-reach.
+#[allow(clippy::type_complexity)]
+fn decode_planes(
+    faults: &FaultSet,
+    bits_a: &BitGrid,
+    bits_b: &BitGrid,
+) -> (Grid<MccStatus>, Grid<bool>, Grid<bool>, BitGrid) {
+    let mesh = faults.mesh();
+    let mut status = Grid::new(mesh, MccStatus::FaultFree);
+    let mut useless = Grid::new(mesh, false);
+    let mut cant_reach = Grid::new(mesh, false);
+    let mut packed = faults.packed().clone();
+    let width = mesh.width() as usize;
+    {
+        let st = status.as_mut_slice();
+        let ul = useless.as_mut_slice();
+        let cr = cant_reach.as_mut_slice();
+        for y in 0..mesh.height() {
+            let base = y as usize * width;
+            block_bits::for_each_set_bit(bits_b.row(y), |x| {
+                cr[base + x] = true;
+                st[base + x] = MccStatus::CantReach;
+            });
+            block_bits::for_each_set_bit(bits_a.row(y), |x| {
+                ul[base + x] = true;
+                st[base + x] = MccStatus::Useless;
+            });
+            block_bits::for_each_set_bit(faults.packed().row(y), |x| {
+                st[base + x] = MccStatus::Faulty;
+            });
+            let packed_row = packed.row_mut(y);
+            for (i, w) in packed_row.iter_mut().enumerate() {
+                *w |= bits_a.row(y)[i] | bits_b.row(y)[i];
+            }
+        }
+    }
+    (status, useless, cant_reach, packed)
 }
 
 /// Resumes one label plane's fix-point after `seed` turned faulty. A node
@@ -800,6 +871,43 @@ mod tests {
                 let bits = MccMap::build(&f, ty);
                 let scalar = MccMap::build_scalar(&f, ty);
                 assert_eq!(bits, scalar, "{w}x{h} seed {seed} {ty:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_build_matches_scalar_for_every_band_count() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Awkward widths (word boundaries plus 4095/4097 non-×64 tails on
+        // thin meshes) under band counts from 1 to beyond-height; full
+        // struct equality against the scalar ground truth.
+        let shapes = [
+            (16, 16),
+            (65, 7),
+            (127, 5),
+            (130, 4),
+            (4095, 2),
+            (4097, 2),
+            (1, 9),
+        ];
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(0xBA4D + seed);
+            for &(w, h) in &shapes {
+                let mesh = Mesh::new(w, h);
+                let mut f = FaultSet::new(mesh);
+                for c in mesh.nodes() {
+                    if rng.gen_bool(0.12) {
+                        f.insert(c);
+                    }
+                }
+                for ty in MccType::ALL {
+                    let scalar = MccMap::build_scalar(&f, ty);
+                    for bands in [1, 2, 3, 5, 64] {
+                        let banded = MccMap::build_banded(&f, ty, bands);
+                        assert_eq!(banded, scalar, "seed {seed} {w}x{h} {ty:?} bands {bands}");
+                    }
+                }
             }
         }
     }

@@ -86,6 +86,142 @@ pub(crate) fn label_plane(
     }
 }
 
+/// The banded form of [`label_plane`]: splits `out` into horizontal
+/// bands of whole rows and labels the bands on scoped threads, repeating
+/// rounds with frozen halo rows until nothing changes.
+///
+/// Each band sweeps its rows in the plane's order (Gauss–Seidel within
+/// the band: in-band dependency rows are already final this round) and
+/// reads its one out-of-band dependency row — the row past the band in
+/// the sweep direction — from a halo frozen at round start. Labels only
+/// grow between rounds (the rule is monotone in the neighbor row), so a
+/// round that changes nothing has every row equal to the rule applied to
+/// its true neighbor row: the unique fix-point, which induction along
+/// the sweep direction shows is exactly the single-pass [`label_plane`]
+/// result. Information crosses one band boundary per round, so at most
+/// `bands` rounds run. The skip-empty-seed shortcut stays sound under
+/// re-relaxation because recomputed seeds are a superset of the stored
+/// row: empty seeds imply the stored row was empty too.
+pub(crate) fn label_plane_banded(
+    f: &BitGrid,
+    dirs: [Direction; 2],
+    out: &mut BitGrid,
+    bands: usize,
+) {
+    let mesh = f.mesh();
+    let height = mesh.height() as usize;
+    let wpr = f.words_per_row();
+    let rows_per_band = height.div_ceil(bands.clamp(1, height));
+    let n_bands = height.div_ceil(rows_per_band);
+    if n_bands == 1 {
+        let (mut elig, mut seeds) = (Vec::new(), Vec::new());
+        label_plane(f, dirs, out, &mut elig, &mut seeds);
+        return;
+    }
+    out.reset(mesh);
+    let y_rev = dirs.contains(&Direction::North);
+    let h_east = dirs.contains(&Direction::East);
+    // One frozen dependency halo row per band per round.
+    let mut halo = vec![0u64; n_bands * wpr];
+    loop {
+        for b in 0..n_bands {
+            let r0 = b * rows_per_band;
+            let r1 = (r0 + rows_per_band).min(height);
+            let dst = &mut halo[b * wpr..(b + 1) * wpr];
+            // A North-rule sweep runs top-down: the band's edge row r1−1
+            // depends on row r1. A South-rule sweep depends on r0−1.
+            let src = if y_rev {
+                (r1 < height).then_some(r1)
+            } else {
+                r0.checked_sub(1)
+            };
+            match src {
+                Some(y) => dst.copy_from_slice(out.row(i32::try_from(y).unwrap_or(i32::MAX))),
+                None => dst.fill(0),
+            }
+        }
+        let mut changed = false;
+        std::thread::scope(|s| {
+            let workers: Vec<_> = out
+                .row_bands_mut(rows_per_band)
+                .zip(halo.chunks(wpr))
+                .enumerate()
+                .map(|(b, (band, halo_row))| {
+                    let r0 = b * rows_per_band;
+                    s.spawn(move || label_band(f, band, r0, halo_row, y_rev, h_east))
+                })
+                .collect();
+            for w in workers {
+                changed |= w.join().expect("mcc band worker panicked");
+            }
+        });
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// One round of label relaxation over one band of whole rows; the
+/// per-row body mirrors [`label_plane`], with the out-of-band dependency
+/// row read from `halo`. Returns whether any row changed.
+fn label_band(
+    f: &BitGrid,
+    band: &mut [u64],
+    r0: usize,
+    halo: &[u64],
+    y_rev: bool,
+    h_east: bool,
+) -> bool {
+    let height = f.mesh().height() as usize;
+    let wpr = f.words_per_row();
+    let nrows = band.len() / wpr;
+    let mut elig = vec![0u64; wpr];
+    let mut seeds = vec![0u64; wpr];
+    let mut changed = false;
+    for step in 0..nrows {
+        let r = if y_rev { nrows - 1 - step } else { step };
+        let y = r0 + r;
+        let yn = if y_rev { y + 1 } else { y.wrapping_sub(1) };
+        if yn >= height {
+            continue; // off-mesh neighbors are fault-free: no labels
+        }
+        let frow = f.row(i32::try_from(y).unwrap_or(i32::MAX));
+        let fn_row = f.row(i32::try_from(yn).unwrap_or(i32::MAX));
+        let rn = if y_rev { r + 1 } else { r.wrapping_sub(1) };
+        for (i, e) in elig.iter_mut().enumerate() {
+            let out_n = if rn < nrows {
+                band[rn * wpr + i]
+            } else {
+                halo[i]
+            };
+            *e = !frow[i] & (fn_row[i] | out_n);
+        }
+        if h_east {
+            shift_west_row(frow, &mut seeds);
+        } else {
+            shift_east_row(frow, &mut seeds);
+        }
+        let mut any = 0u64;
+        for (s, &e) in seeds.iter_mut().zip(elig.iter()) {
+            *s &= e;
+            any |= *s;
+        }
+        if any == 0 {
+            continue;
+        }
+        if h_east {
+            reach_row_west(&elig, &mut seeds);
+        } else {
+            reach_row(&elig, &mut seeds);
+        }
+        if band[r * wpr..(r + 1) * wpr] != seeds[..wpr] {
+            band[r * wpr..(r + 1) * wpr].copy_from_slice(&seeds[..wpr]);
+            changed = true;
+        }
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

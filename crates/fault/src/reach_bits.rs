@@ -32,7 +32,7 @@
 //!   reachability to **every** node, after which each query is an O(1)
 //!   bit lookup. Build it whenever several destinations share a source.
 
-use emr_mesh::{BitGrid, Coord, Mesh, Quadrant};
+use emr_mesh::{BitGrid, Coord, MemBytes, Mesh, Quadrant};
 
 use crate::workspace::{with_scratch, Workspace};
 
@@ -344,44 +344,43 @@ impl ReachMap {
 
     fn sweep(&mut self, packed: &BitGrid, row_open: &mut Vec<u64>, row_cur: &mut Vec<u64>) {
         for (grid, &q) in self.grids.iter_mut().zip(Quadrant::ALL.iter()) {
-            let ys = if q.y_positive() { 1 } else { -1 };
-            let qw = if q.x_positive() {
-                self.mesh.width() - self.source.x
-            } else {
-                self.source.x + 1
-            };
-            let qh = if q.y_positive() {
-                self.mesh.height() - self.source.y
-            } else {
-                self.source.y + 1
-            };
-            grid.reset(Mesh::new(qw, qh));
-            let words = grid.words_per_row();
-            row_open.clear();
-            row_open.resize(words, 0);
-            row_cur.clear();
-            row_cur.resize(words, 0);
-            row_cur[0] = 1; // the source seeds its own row
-            for ry in 0..qh {
-                let from = Coord::new(self.source.x, self.source.y + ys * ry);
-                if q.x_positive() {
-                    packed.span_east(from, qw, row_open);
-                } else {
-                    packed.span_west(from, qw, row_open);
-                }
-                // The packed grid holds *blocked* bits; open = complement
-                // within the quadrant width.
-                for w in row_open.iter_mut() {
-                    *w = !*w;
-                }
-                row_open[words - 1] &= low_mask(qw);
-                reach_row(row_open, row_cur);
-                if row_cur.iter().all(|&w| w == 0) {
-                    break; // rows beyond a sealed row stay all-zero
-                }
-                grid.row_mut(ry).copy_from_slice(row_cur);
-            }
+            sweep_quadrant(grid, q, self.source, self.mesh, packed, row_open, row_cur);
         }
+    }
+
+    /// [`ReachMap::from_packed`] with the four quadrant sweeps run on
+    /// scoped threads — intra-mesh parallelism for giant meshes. Each
+    /// sweep owns its quadrant grid and scratch rows, so the result is
+    /// bit-identical to the sequential build (the sweeps never share
+    /// state). The within-quadrant row recurrence is strictly sequential
+    /// (row `ry` seeds row `ry+1`'s carry chain), so quadrants — not row
+    /// bands — are the natural parallel grain here.
+    pub fn from_packed_parallel(source: Coord, blocked: &BitGrid) -> ReachMap {
+        let mesh = blocked.mesh();
+        let unit = Mesh::new(1, 1);
+        let mut map = ReachMap {
+            mesh,
+            source,
+            live: mesh.contains(source) && blocked.get(source) == Some(false),
+            grids: [
+                BitGrid::new(unit),
+                BitGrid::new(unit),
+                BitGrid::new(unit),
+                BitGrid::new(unit),
+            ],
+        };
+        if !map.live {
+            return map;
+        }
+        std::thread::scope(|s| {
+            for (grid, &q) in map.grids.iter_mut().zip(Quadrant::ALL.iter()) {
+                s.spawn(move || {
+                    let (mut row_open, mut row_cur) = (Vec::new(), Vec::new());
+                    sweep_quadrant(grid, q, source, mesh, blocked, &mut row_open, &mut row_cur);
+                });
+            }
+        });
+        map
     }
 
     /// The source this map was built from.
@@ -415,6 +414,65 @@ impl ReachMap {
     /// itself included when it is open).
     pub fn count_reachable(&self) -> usize {
         self.mesh.nodes().filter(|&d| self.reachable(d)).count()
+    }
+}
+
+impl MemBytes for ReachMap {
+    /// The four packed quadrant grids (together about one bit per node
+    /// plus the overlap of the shared source row and column).
+    fn mem_bytes(&self) -> u64 {
+        self.grids.iter().map(MemBytes::mem_bytes).sum()
+    }
+}
+
+/// One quadrant's reachability sweep: resets `grid` to the quadrant's
+/// relative frame and fills it row by row with the carry-chain kernel.
+/// `row_open`/`row_cur` are row-sized scratch buffers.
+fn sweep_quadrant(
+    grid: &mut BitGrid,
+    q: Quadrant,
+    source: Coord,
+    mesh: Mesh,
+    packed: &BitGrid,
+    row_open: &mut Vec<u64>,
+    row_cur: &mut Vec<u64>,
+) {
+    let ys = if q.y_positive() { 1 } else { -1 };
+    let qw = if q.x_positive() {
+        mesh.width() - source.x
+    } else {
+        source.x + 1
+    };
+    let qh = if q.y_positive() {
+        mesh.height() - source.y
+    } else {
+        source.y + 1
+    };
+    grid.reset(Mesh::new(qw, qh));
+    let words = grid.words_per_row();
+    row_open.clear();
+    row_open.resize(words, 0);
+    row_cur.clear();
+    row_cur.resize(words, 0);
+    row_cur[0] = 1; // the source seeds its own row
+    for ry in 0..qh {
+        let from = Coord::new(source.x, source.y + ys * ry);
+        if q.x_positive() {
+            packed.span_east(from, qw, row_open);
+        } else {
+            packed.span_west(from, qw, row_open);
+        }
+        // The packed grid holds *blocked* bits; open = complement
+        // within the quadrant width.
+        for w in row_open.iter_mut() {
+            *w = !*w;
+        }
+        row_open[words - 1] &= low_mask(qw);
+        reach_row(row_open, row_cur);
+        if row_cur.iter().all(|&w| w == 0) {
+            break; // rows beyond a sealed row stay all-zero
+        }
+        grid.row_mut(ry).copy_from_slice(row_cur);
     }
 }
 
@@ -553,6 +611,32 @@ mod tests {
             let mut dead = BitGrid::new(mesh);
             dead.set(s, true);
             assert_eq!(ReachMap::from_packed(s, &dead).count_reachable(), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        use emr_mesh::BitGrid;
+        // Word-boundary widths, corner and center sources, and a blocked
+        // source; the parallel build must match from_packed exactly.
+        for (w, h) in [(9, 9), (130, 4), (65, 65), (1, 7), (70, 1)] {
+            let mesh = Mesh::new(w, h);
+            let packed = BitGrid::from_blocked(mesh, |c| (c.x * 13 + c.y * 7) % 5 == 0);
+            for s in [
+                Coord::new(w / 2, h / 2),
+                Coord::new(0, 0),
+                Coord::new(w - 1, h - 1),
+            ] {
+                let sequential = ReachMap::from_packed(s, &packed);
+                let parallel = ReachMap::from_packed_parallel(s, &packed);
+                assert_eq!(parallel.live, sequential.live, "{w}x{h} s={s}");
+                assert_eq!(parallel.grids, sequential.grids, "{w}x{h} s={s}");
+                assert_eq!(
+                    parallel.count_reachable(),
+                    sequential.count_reachable(),
+                    "{w}x{h} s={s}"
+                );
+            }
         }
     }
 

@@ -15,6 +15,9 @@
 //! * [`Grid`] — a dense per-node storage indexed by [`Coord`],
 //! * [`BitGrid`] — one bit per node, packed into `u64` words for the
 //!   word-parallel reachability kernels,
+//! * [`LaneIndex`] — sorted per-row/per-column obstacle positions, the
+//!   memory-lean alternative to dense per-node maps at giant mesh sizes,
+//! * [`MemBytes`] — uniform resident-byte accounting across the map types,
 //! * [`Quadrant`] and [`Frame`] — relative quadrants and the mirroring
 //!   transform that maps any source/destination pair onto the canonical
 //!   "destination in quadrant I" frame used throughout the paper,
@@ -40,6 +43,8 @@ mod coord;
 mod direction;
 mod frame;
 mod grid;
+mod lanes;
+mod membytes;
 mod mesh;
 mod path;
 mod quadrant;
@@ -50,6 +55,8 @@ pub use coord::Coord;
 pub use direction::Direction;
 pub use frame::Frame;
 pub use grid::Grid;
+pub use lanes::LaneIndex;
+pub use membytes::MemBytes;
 pub use mesh::{Mesh, Neighbors};
 pub use path::Path;
 pub use quadrant::Quadrant;

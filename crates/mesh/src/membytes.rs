@@ -1,0 +1,52 @@
+use std::mem::{size_of, size_of_val};
+
+use crate::{BitGrid, Grid};
+
+/// Resident heap bytes held by a per-node map or index.
+///
+/// The scale work (mesh 64 → 4096, ~16.7M nodes) needs a uniform way to
+/// account for what each map actually keeps resident, so the bench layer
+/// can report bytes-per-node curves and CI can gate regressions. The
+/// numbers are payload accounting (element count × element size), not an
+/// allocator measurement: they exclude per-`Vec` headers on the owning
+/// struct and any over-allocated capacity, which makes them deterministic
+/// across allocators and exactly reproducible in CI.
+pub trait MemBytes {
+    /// Approximate resident heap bytes held by this value.
+    fn mem_bytes(&self) -> u64;
+}
+
+impl<T> MemBytes for Grid<T> {
+    /// One `T` per node: `node_count × size_of::<T>()`.
+    fn mem_bytes(&self) -> u64 {
+        size_of_val(self.as_slice()) as u64
+    }
+}
+
+impl MemBytes for BitGrid {
+    /// One bit per node, padded to whole words per row.
+    fn mem_bytes(&self) -> u64 {
+        (self.words_per_row() * self.mesh().height() as usize * size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mesh;
+
+    #[test]
+    fn grid_counts_payload_bytes() {
+        let mesh = Mesh::new(10, 3);
+        assert_eq!(Grid::new(mesh, 0u8).mem_bytes(), 30);
+        assert_eq!(Grid::new(mesh, 0u32).mem_bytes(), 120);
+        assert_eq!(Grid::new(mesh, [0u32; 4]).mem_bytes(), 480);
+    }
+
+    #[test]
+    fn bitgrid_counts_row_padded_words() {
+        // 65 columns → 2 words per row.
+        assert_eq!(BitGrid::new(Mesh::new(65, 3)).mem_bytes(), 2 * 3 * 8);
+        assert_eq!(BitGrid::new(Mesh::new(64, 4)).mem_bytes(), 4 * 8);
+    }
+}

@@ -25,7 +25,7 @@ use emr_core::{
 };
 use emr_fault::reach_bits::minimal_path_exists_bits;
 use emr_fault::MccType;
-use emr_mesh::{Coord, Mesh};
+use emr_mesh::{Coord, MemBytes, Mesh};
 
 use crate::api::ServeError;
 
@@ -103,20 +103,14 @@ impl Snapshot {
         }))
     }
 
-    /// Approximate heap bytes held by this snapshot's packed maps and
-    /// memo (an estimate for capacity planning, not an allocator
-    /// measurement): per node, the block-state grid plus two MCC status
-    /// grids and three packed safety maps (four u16 distances each), plus
-    /// the fault bitset and the memo entries.
+    /// Approximate heap bytes held by this snapshot (an estimate for
+    /// capacity planning, not an allocator measurement): the scenario's
+    /// [`MemBytes`] payload accounting — which only counts maps actually
+    /// materialized at publish time, and reflects lean safety storage
+    /// when the scenario was built with a lean [`emr_core::BuildProfile`]
+    /// — plus 40 bytes per memo entry (key + value).
     pub fn approx_bytes(&self) -> u64 {
-        let mesh = self.mesh();
-        let nodes = mesh.node_count() as u64;
-        let row_words = (u64::try_from(mesh.width()).unwrap_or(0)).div_ceil(64);
-        let bitgrid = row_words * u64::try_from(mesh.height()).unwrap_or(0) * 8;
-        // Block-state byte + 2 MCC status bytes + 3 safety maps of four
-        // u16 lanes each, per node; 4 packed bitsets (faults, blocks, two
-        // MCC obstacle sets); 40 bytes per memo entry (key + value).
-        nodes * (1 + 2 + 3 * 8) + bitgrid * 4 + self.memo.len() as u64 * 40
+        self.scenario.mem_bytes() + self.memo.len() as u64 * 40
     }
 
     fn check_on_mesh(&self, c: Coord) -> Result<(), ServeError> {

@@ -21,6 +21,7 @@ fn main() {
         fault_counts: (0..=60).step_by(10).collect(),
         seed: 0xBEEF,
         threads: None,
+        profile: None,
     };
 
     println!("guaranteed-minimal-delivery report — {size}x{size} mesh, {trials} trials/point\n");
