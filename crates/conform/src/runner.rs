@@ -108,6 +108,7 @@ pub fn run(config: &RunConfig) -> RunOutcome {
         };
     }
 
+    // emr-lint: allow(A2, "work-stealing cursor: claim order is nondeterministic but each chunk lands at per_chunk[index] and merges in ascending chunk order")
     let next = AtomicUsize::new(0);
     let mut per_chunk: Vec<Vec<SeedOutcome>> = Vec::new();
     std::thread::scope(|scope| {

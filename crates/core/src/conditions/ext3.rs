@@ -59,6 +59,7 @@ pub fn select_pivots(
 /// pivot per (column band, row band) pair of a random permutation, a
 /// jittered Latin arrangement. Distinctness is guaranteed whenever the
 /// region is at least `Σ 4^(i−1)` nodes wide and tall.
+// emr-lint: allow(A1, "pivot coordinates are drawn inside `region`, which the caller clips to the mesh")
 fn latin_pivots(region: Rect, level: u32, rng: &mut impl Rng) -> Vec<Coord> {
     let total: i64 = (0..level).map(|i| 4i64.pow(i)).sum();
     let clipped = total

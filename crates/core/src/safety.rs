@@ -59,6 +59,7 @@ impl SafetyLevel {
     }
 
     /// The distance to the nearest block in `dir`.
+    // emr-lint: allow(A1, "the four per-direction distances are indexed by Direction::index(), always 0..4")
     pub fn toward(&self, dir: Direction) -> Dist {
         self.dists[dir.index()]
     }
@@ -177,6 +178,7 @@ impl SafetyMap {
 
     /// [`SafetyMap::compute_packed`] reusing a caller-owned scratch
     /// [`Workspace`] for the transposed obstacle plane.
+    // emr-lint: allow(A1, "workspace buffers are resized to the mesh at entry; every cursor stays inside them")
     pub fn compute_packed_with(blocked: &BitGrid, ws: &mut Workspace) -> SafetyMap {
         let mesh = blocked.mesh();
         let mut levels = Grid::new(mesh, SafetyLevel::UNBOUNDED);
@@ -284,6 +286,7 @@ impl SafetyMap {
     /// # Panics
     ///
     /// Panics if `c` is outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: `c` lies inside the mesh, so the dense row-major index is in range")
     pub fn level(&self, c: Coord) -> SafetyLevel {
         match &self.repr {
             Repr::Dense(levels) => levels[c],
@@ -418,6 +421,7 @@ fn clip_rect(rect: Rect, mesh: Mesh) -> Rect {
 /// # Panics
 ///
 /// Panics if `c` is outside the mesh.
+// emr-lint: allow(A1, "documented panic contract: lane pivots are sorted mesh offsets, and ri/ci are partition points into them")
 fn lean_level(lanes: &LaneIndex, c: Coord) -> SafetyLevel {
     let row = lanes.row(c.y);
     let x = u32::try_from(c.x).unwrap_or(u32::MAX);
@@ -494,6 +498,7 @@ fn sweep_lane(
 /// (each cursor starts at the first obstacle at or below the band and
 /// only ever advances). Virgin semantics: only finite entries are
 /// written; obstacle nodes keep the `∞` fill.
+// emr-lint: allow(A1, "band bounds are clamped to the mesh before the loop, so every lane index is in range")
 fn fill_band(
     blocked: &BitGrid,
     lanes: &LaneIndex,
@@ -560,6 +565,7 @@ fn each_set_bit(lane: &[u64], mut f: impl FnMut(usize)) {
 /// overwrite mode (resweeps) every entry of the lane is written,
 /// including the `∞` of blocked nodes, head/tail segments, and fully
 /// clear lanes.
+// emr-lint: allow(A1, "lane has one level per column and the word loop is bounded by the packed row length")
 fn sweep_row_packed(row: &[u64], lane: &mut [SafetyLevel], virgin: bool) {
     let e = Direction::East.index();
     let w = Direction::West.index();
@@ -603,6 +609,7 @@ fn sweep_row_packed(row: &[u64], lane: &mut [SafetyLevel], virgin: bool) {
 /// of column `x` from that column's packed bits (`col[i]` holds rows
 /// `64i..64i+63`), writing through the row-major `levels` slice with
 /// stride `width`.
+// emr-lint: allow(A1, "levels holds width*height entries and the sweep walks y through 0..height at a fixed in-range x")
 fn sweep_col_packed(col: &[u64], levels: &mut [SafetyLevel], x: usize, width: usize, virgin: bool) {
     let n = Direction::North.index();
     let s = Direction::South.index();

@@ -162,6 +162,7 @@ impl Scenario {
             .get_or_init(|| self.safety_for(self.blocks.packed()))
     }
 
+    // emr-lint: allow(A1, "mcc_index maps the two labeling types to 0 and 1, matching the two-slot arrays")
     fn mcc_safety(&self, ty: MccType) -> &SafetyMap {
         self.mcc_safety[mcc_index(ty)].get_or_init(|| self.safety_for(self.mcc(ty).packed()))
     }
@@ -198,6 +199,7 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if `c` lies outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: a safety slot is only initialized after its MCC map (the get_or_init above it)")
     pub(crate) fn apply_fault(&mut self, c: Coord) -> Option<FaultDelta> {
         if !self.faults.insert(c) {
             return None;
@@ -249,6 +251,7 @@ impl Scenario {
     }
 
     /// The MCC decomposition for one labeling type (built on first use).
+    // emr-lint: allow(A1, "mcc_index maps the two labeling types to 0 and 1, matching the two-slot arrays")
     pub fn mcc(&self, ty: MccType) -> &MccMap {
         self.mcc[mcc_index(ty)].get_or_init(|| {
             if self.profile.bands > 1 {

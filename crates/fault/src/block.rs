@@ -282,6 +282,7 @@ impl BlockMap {
     /// # Panics
     ///
     /// Panics if `c` lies outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract plus worklist invariants: a faulty node always belongs to a block, and only blocked nodes enter the component queue")
     pub fn insert_fault(&mut self, c: Coord) -> Rect {
         assert!(self.mesh.contains(c), "fault {c} outside mesh");
         if self.state[c] == NodeState::Faulty {

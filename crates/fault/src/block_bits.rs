@@ -151,7 +151,12 @@ pub(crate) fn disable_fixpoint_banded(cur: &mut BitGrid, bands: usize) {
                 .map(|(band, (lo, hi))| s.spawn(move || band_fixpoint(band, wpr, lo, hi)))
                 .collect();
             for w in workers {
-                changed |= w.join().expect("block band worker panicked");
+                // Forward band-worker panics verbatim so the original
+                // failure (not a join wrapper) reaches the caller.
+                changed |= match w.join() {
+                    Ok(c) => c,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
             }
         });
         if !changed {

@@ -360,6 +360,7 @@ impl MccMap {
     /// # Panics
     ///
     /// Panics if `c` lies outside the mesh.
+    // emr-lint: allow(A1, "worklist invariant: only blocked-status nodes enter the component queue, so a fault-free node there is a labeling bug")
     pub fn insert_fault(&mut self, c: Coord) -> Option<Rect> {
         assert!(self.mesh.contains(c), "fault {c} outside mesh");
         if self.status[c] == MccStatus::Faulty {
@@ -464,6 +465,7 @@ impl MemBytes for MccMap {
 /// bits. Write order encodes the status priority:
 /// faulty > useless > can't-reach.
 #[allow(clippy::type_complexity)]
+// emr-lint: allow(A1, "plane indices come from the label grid the same pass wrote; every coordinate is in-mesh")
 fn decode_planes(
     faults: &FaultSet,
     bits_a: &BitGrid,
@@ -555,6 +557,7 @@ fn sweep_label_into(mesh: Mesh, faulty: &Grid<bool>, dirs: [Direction; 2], label
     }
 }
 
+// emr-lint: allow(A1, "component ids index the vector they were pushed into, and the status grid covers the mesh")
 fn extract_components(mesh: Mesh, status: &Grid<MccStatus>, ws: &mut Workspace) -> Vec<Mcc> {
     let Workspace { queue, visited, .. } = ws;
     visited.reset(mesh, false);

@@ -30,6 +30,7 @@ use crate::reach_bits::{reach_row, reach_row_west, shift_east_row, shift_west_ro
 /// Computes one label plane into `out` (retargeted to `f`'s mesh).
 /// `dirs` holds exactly one vertical and one horizontal direction; `elig`
 /// and `seeds` are row-sized scratch buffers.
+// emr-lint: allow(A1, "word indices are bounded by words_per_row * height, the exact size of every plane buffer")
 pub(crate) fn label_plane(
     f: &BitGrid,
     dirs: [Direction; 2],
@@ -102,6 +103,7 @@ pub(crate) fn label_plane(
 /// `bands` rounds run. The skip-empty-seed shortcut stays sound under
 /// re-relaxation because recomputed seeds are a superset of the stored
 /// row: empty seeds imply the stored row was empty too.
+// emr-lint: allow(A1, "band bounds come from row_bands_mut, so every halo and word offset stays inside the plane buffers")
 pub(crate) fn label_plane_banded(
     f: &BitGrid,
     dirs: [Direction; 2],
@@ -152,7 +154,12 @@ pub(crate) fn label_plane_banded(
                 })
                 .collect();
             for w in workers {
-                changed |= w.join().expect("mcc band worker panicked");
+                // Forward band-worker panics verbatim so the original
+                // failure (not a join wrapper) reaches the caller.
+                changed |= match w.join() {
+                    Ok(c) => c,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
             }
         });
         if !changed {
@@ -164,6 +171,7 @@ pub(crate) fn label_plane_banded(
 /// One round of label relaxation over one band of whole rows; the
 /// per-row body mirrors [`label_plane`], with the out-of-band dependency
 /// row read from `halo`. Returns whether any row changed.
+// emr-lint: allow(A1, "the band label loop only touches rows y0..y1 handed to it by the banded driver")
 fn label_band(
     f: &BitGrid,
     band: &mut [u64],

@@ -162,6 +162,7 @@ pub fn minimal_path_exists_bits(
 
 /// [`minimal_path_exists_bits`] reusing a caller-owned scratch
 /// [`Workspace`] for the packed rows.
+// emr-lint: allow(A1, "frontier and obstacle rows share the packed width, so word offsets are always in range")
 pub fn minimal_path_exists_bits_with(
     mesh: &Mesh,
     s: Coord,

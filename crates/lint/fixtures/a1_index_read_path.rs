@@ -1,0 +1,9 @@
+//! A1 fixture: direct indexing reachable from the query read path.
+//! Analyzed under the virtual path `crates/serve/src/snapshot.rs`.
+pub fn route(levels: &[u32], at: usize) -> u32 {
+    pick(levels, at)
+}
+
+fn pick(levels: &[u32], at: usize) -> u32 {
+    levels[at]
+}

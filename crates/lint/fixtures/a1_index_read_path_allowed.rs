@@ -1,0 +1,10 @@
+//! A1 fixture, suppressed variant: the read-path indexing behind a
+//! function-level allow.
+pub fn route(levels: &[u32], at: usize) -> u32 {
+    pick(levels, at)
+}
+
+// emr-lint: allow(A1, "fixture: `at` is validated against the mesh before routing")
+fn pick(levels: &[u32], at: usize) -> u32 {
+    levels[at]
+}

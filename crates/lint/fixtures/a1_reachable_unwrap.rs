@@ -1,0 +1,11 @@
+//! A1 fixture: an unwrap reachable from the serve dispatch root.
+//! Analyzed under the virtual path `crates/serve/src/store.rs`.
+pub fn handle_batch(reqs: &[u32]) -> Vec<u32> {
+    reqs.iter().map(|r| lookup(*r)).collect()
+}
+
+fn lookup(r: u32) -> u32 {
+    TABLE.get(r as usize).copied().unwrap()
+}
+
+const TABLE: &[u32] = &[1, 2, 3];

@@ -1,0 +1,12 @@
+//! A1 fixture, suppressed variant: the same reachable unwrap behind a
+//! scoped allow with a reason.
+pub fn handle_batch(reqs: &[u32]) -> Vec<u32> {
+    reqs.iter().map(|r| lookup(*r)).collect()
+}
+
+fn lookup(r: u32) -> u32 {
+    // emr-lint: allow(A1, "fixture: the table covers every request id by construction")
+    TABLE.get(r as usize).copied().unwrap()
+}
+
+const TABLE: &[u32] = &[1, 2, 3];

@@ -1,0 +1,9 @@
+//! A2 fixture: a scoped spawn with neither a disjoint-slice hand-out
+//! nor an index-ordered merge.
+pub fn build(out: &mut Vec<u64>) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _ = out.len();
+        });
+    });
+}

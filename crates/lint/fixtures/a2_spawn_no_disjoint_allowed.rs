@@ -1,0 +1,9 @@
+//! A2 fixture, suppressed variant: the spawn site behind a scoped allow.
+pub fn build(out: &mut Vec<u64>) {
+    std::thread::scope(|scope| {
+        // emr-lint: allow(A2, "fixture: the single worker owns the whole buffer")
+        scope.spawn(|| {
+            let _ = out.len();
+        });
+    });
+}

@@ -1,0 +1,6 @@
+//! A2 fixture: a sync primitive outside the store boundary.
+pub fn tally(xs: &[u64]) -> u64 {
+    let total = std::sync::Mutex::new(0u64);
+    *total.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += xs.len() as u64;
+    0
+}

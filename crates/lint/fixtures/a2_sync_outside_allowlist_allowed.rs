@@ -1,0 +1,8 @@
+//! A2 fixture, suppressed variant: the sync primitive behind a scoped
+//! allow explaining why ordering cannot leak.
+pub fn tally(xs: &[u64]) -> u64 {
+    // emr-lint: allow(A2, "fixture: a commutative counter; merge order cannot change the sum")
+    let total = std::sync::Mutex::new(0u64);
+    *total.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += xs.len() as u64;
+    0
+}

@@ -1,0 +1,4 @@
+//! A3 fixture: raw arithmetic on an epoch value outside the producer.
+pub fn predict(working_epoch: u64) -> u64 {
+    working_epoch + 1
+}

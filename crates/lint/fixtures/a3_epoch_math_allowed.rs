@@ -1,0 +1,6 @@
+//! A3 fixture, suppressed variant: the epoch arithmetic behind a scoped
+//! allow.
+pub fn predict(working_epoch: u64) -> u64 {
+    // emr-lint: allow(A3, "fixture: a display-only projection, never compared against real epochs")
+    working_epoch + 1
+}

@@ -1,0 +1,11 @@
+//! A3 fixture: a snapshot field mutated outside capture.
+//! Analyzed under the virtual path `crates/serve/src/snapshot.rs`.
+pub struct Snap {
+    epoch: u64,
+}
+
+impl Snap {
+    pub fn poke(&mut self) {
+        self.epoch = 9;
+    }
+}

@@ -1,0 +1,11 @@
+//! A3 fixture, suppressed variant: the mutation behind a scoped allow.
+pub struct Snap {
+    epoch: u64,
+}
+
+impl Snap {
+    pub fn poke(&mut self) {
+        // emr-lint: allow(A3, "fixture: a builder that has not been published yet")
+        self.epoch = 9;
+    }
+}

@@ -212,7 +212,15 @@ fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // The escaped character can itself be a newline (string
+                // line-continuation, `"…\` at end of line): count it, or
+                // every finding below the string reports the wrong line.
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -231,9 +239,13 @@ fn skip_char_or_lifetime(b: &[u8], mut i: usize, line: &mut u32) -> usize {
         return i;
     }
     if b[i] == b'\\' {
-        // Escaped char literal.
-        i += 2;
+        // Escaped char literal. Malformed literals can run over line
+        // breaks before the closing quote turns up; keep counting.
+        i = (i + 2).min(b.len());
         while i < b.len() && b[i] != b'\'' {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
             i += 1;
         }
         return (i + 1).min(b.len());
@@ -338,6 +350,74 @@ mod tests {
         let last = lexed.tokens.last().expect("tokens");
         assert_eq!(last.kind.ident(), Some("final_ident"));
         assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn raw_string_edge_cases_strip_exactly_the_literal() {
+        // Hash-count matching: a `"#` inside a `##`-delimited literal
+        // must not close it, and the token after the literal survives.
+        assert_eq!(
+            idents("let a = r##\"inner \"# quote\"## ; after_raw"),
+            vec!["let", "a", "after_raw"]
+        );
+
+        // Zero-hash raw string closes at the first quote.
+        assert_eq!(idents("r\"HashMap\"; keep"), vec!["keep"]);
+
+        // Empty raw strings, with and without hashes.
+        for src in ["r\"\" x", "r#\"\"# x", "br#\"\"# x"] {
+            assert_eq!(idents(src), vec!["x"], "src = {src}");
+        }
+
+        // Fewer hashes than the delimiter inside the literal: stays open.
+        assert_eq!(idents("r##\"a\"# b\"## tail"), vec!["tail"]);
+
+        // Multi-line raw strings advance the line counter.
+        let lexed = lex("r#\"l1\nl2\nl3\"# marker");
+        assert_eq!(lexed.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn byte_literals_are_stripped_like_their_plain_forms() {
+        assert_eq!(idents("b\"HashMap\" b'x' br\"Instant\" keep"), vec!["keep"]);
+        // An identifier merely ending in `b`/`r` is not a literal prefix.
+        assert_eq!(idents("var b2 = wpr; s"), vec!["var", "b2", "wpr", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comments_respect_depth() {
+        // Two levels deep, then content after the true close survives.
+        assert_eq!(idents("/* a /* b /* c */ d */ e */ after"), vec!["after"]);
+        // `/*/` does not close the comment it opens (rustc agrees: the
+        // `/` is comment content, so `*/` later is the close).
+        assert_eq!(idents("/*/ still a comment */ word"), vec!["word"]);
+        // `/***/` closes at depth one.
+        assert_eq!(idents("/***/ w2"), vec!["w2"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers_honest() {
+        // A string line-continuation (`\` at end of line) used to skip
+        // the newline without counting it, shifting every later line.
+        let src = "let s = \"first \\\nsecond\";\nmarker";
+        let lexed = lex(src);
+        let last = lexed.tokens.last().expect("tokens");
+        assert_eq!(last.kind.ident(), Some("marker"));
+        assert_eq!(last.line, 3);
+        // Escaped quote still does not close the string.
+        assert_eq!(idents("\"a\\\"b\" tail"), vec!["tail"]);
+        // A trailing backslash at EOF must not walk past the buffer.
+        let lexed = lex("\"oops\\");
+        assert!(lexed.tokens.is_empty());
+    }
+
+    #[test]
+    fn malformed_char_literals_count_their_newlines() {
+        let src = "let c = '\\q\nnope';\nmarker";
+        let lexed = lex(src);
+        let last = lexed.tokens.last().expect("tokens");
+        assert_eq!(last.kind.ident(), Some("marker"));
+        assert_eq!(last.line, 3);
     }
 
     #[test]

@@ -13,14 +13,23 @@
 //! It ships as both a binary (`cargo run -p emr-lint`) that gates CI and
 //! a `#[test]` wrapper (`tests/workspace_clean.rs`) so plain
 //! `cargo test` runs the audit too.
+//!
+//! v2 adds an item-level parse ([`parse`]), a workspace-wide call graph
+//! ([`callgraph`]) and three semantic analysis families ([`families`]):
+//! A1 panic-freedom over the serve-dispatch/sweep closure, A2
+//! concurrency determinism at every spawn site, A3 epoch discipline.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod families;
 pub mod lex;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
 
+pub use families::analyze_files;
 pub use report::Finding;
 pub use scan::{scan_source, scan_workspace};
 

@@ -1,11 +1,16 @@
 //! CLI for the workspace determinism & safety auditor.
 //!
 //! ```text
-//! cargo run -p emr-lint [-- --format json|human] [--root <path>]
+//! cargo run -p emr-lint [-- --format json|human|sarif] [--root <path>]
+//!                       [--baseline <findings.json>]
 //! ```
 //!
-//! Exits 0 when the workspace is clean, 1 when any finding is reported,
-//! 2 on usage errors.
+//! `--baseline` diffs the current findings against a JSON report from a
+//! previous run: new findings are listed (and fail the run), fixed ones
+//! are noted.
+//!
+//! Exits 0 when the workspace is clean (with `--baseline`: no *new*
+//! findings), 1 otherwise, 2 on usage errors.
 
 #![forbid(unsafe_code)]
 
@@ -17,20 +22,28 @@ use emr_lint::{report, scan_workspace, workspace_root};
 fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
                 Some("json") => format = Format::Json,
                 Some("human") => format = Format::Human,
-                other => return usage(&format!("--format expects json|human, got {other:?}")),
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    return usage(&format!("--format expects json|human|sarif, got {other:?}"))
+                }
             },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root expects a path"),
             },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline expects a findings.json path"),
+            },
             "--help" | "-h" => {
-                println!("usage: emr-lint [--format json|human] [--root <workspace>]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -41,6 +54,20 @@ fn main() -> ExitCode {
     match format {
         Format::Human => print!("{}", report::human(&findings)),
         Format::Json => print!("{}", report::json(&findings)),
+        Format::Sarif => print!("{}", report::sarif(&findings)),
+    }
+    if let Some(path) = baseline {
+        let Ok(doc) = std::fs::read_to_string(&path) else {
+            eprintln!("emr-lint: cannot read baseline {}", path.display());
+            return ExitCode::from(2);
+        };
+        let (new, fixed) = report::diff_against_baseline(&findings, &doc);
+        eprint!("{}", report::human_diff(&new, &fixed));
+        return if new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if findings.is_empty() {
         ExitCode::SUCCESS
@@ -52,10 +79,14 @@ fn main() -> ExitCode {
 enum Format {
     Human,
     Json,
+    Sarif,
 }
+
+const USAGE: &str =
+    "usage: emr-lint [--format json|human|sarif] [--root <workspace>] [--baseline <findings.json>]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("emr-lint: {msg}");
-    eprintln!("usage: emr-lint [--format json|human] [--root <workspace>]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

@@ -1,0 +1,600 @@
+//! Item-level parsing on top of the token stream.
+//!
+//! The v2 analyses (A1–A3, see [`crate::families`]) need more structure
+//! than the declarative token rules: which function a token belongs to,
+//! which `impl` block owns a method, and what each file imports. This
+//! module extracts exactly that — functions with body token ranges,
+//! impl/trait owners, `#[cfg(test)]` inheritance, and `use` leaves — in
+//! one linear scan per file with an explicit context stack. It is not a
+//! full Rust parser (the build is offline, no `syn`); it is the minimal
+//! item skeleton the call graph needs, and it degrades safely: anything
+//! it cannot shape is treated as plain tokens inside the innermost
+//! context.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{lex, Lexed, Token, TokenKind};
+
+/// One parsed function item (free function, method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the defining file in the parsed workspace.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` type name owning this function, when it is a
+    /// method or associated function.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword (fn-scoped allow annotations
+    /// attach here).
+    pub line: u32,
+    /// Token index range of the body, exclusive of the braces. `None`
+    /// for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function is test code: under a `#[cfg(test)]` item or
+    /// in a `tests/`/`benches/` directory.
+    pub in_test: bool,
+}
+
+/// One `use` leaf: the name it binds locally and the path's root segment
+/// (`crate`, `std`, `emr_fault`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The locally visible name (the leaf, or the `as` alias).
+    pub name: String,
+    /// The first path segment.
+    pub root: String,
+}
+
+/// One parsed file: its token stream plus import table and the token
+/// ranges occupied by `use` items (so analyses can skip them).
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The lexer output (tokens + allow annotations).
+    pub lexed: Lexed,
+    /// Import table for cross-crate call resolution.
+    pub uses: Vec<UseImport>,
+    /// Token ranges (inclusive start, exclusive end) of `use` items.
+    pub use_spans: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// Whether token index `i` sits inside a `use` item.
+    pub fn in_use_item(&self, i: usize) -> bool {
+        self.use_spans.iter().any(|&(a, b)| a <= i && i < b)
+    }
+}
+
+/// The parsed workspace: every file and every function, with a name
+/// index for call resolution.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files, in the order they were fed in.
+    pub files: Vec<ParsedFile>,
+    /// Every parsed function across all files.
+    pub fns: Vec<FnItem>,
+    /// Function indices by name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Parses a set of `(path, source)` files into a workspace model.
+    pub fn parse(files: &[(String, String)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, src) in files {
+            let lexed = lex(src);
+            let file_idx = ws.files.len();
+            let whole_file_test = path
+                .split('/')
+                .any(|seg| seg == "tests" || seg == "benches");
+            let mut parser = FileParser {
+                tokens: &lexed.tokens,
+                file: file_idx,
+                whole_file_test,
+                fns: Vec::new(),
+                uses: Vec::new(),
+                use_spans: Vec::new(),
+            };
+            parser.run();
+            let FileParser {
+                fns,
+                uses,
+                use_spans,
+                ..
+            } = parser;
+            for f in fns {
+                ws.by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(ws.fns.len());
+                ws.fns.push(f);
+            }
+            ws.files.push(ParsedFile {
+                path: path.clone(),
+                lexed,
+                uses,
+                use_spans,
+            });
+        }
+        ws
+    }
+
+    /// The functions named `name`.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The crate key of a workspace-relative path: `"fault"` for
+    /// `crates/fault/...`, `"(root)"` for the facade `src/`.
+    pub fn crate_key(path: &str) -> &str {
+        let mut parts = path.split('/');
+        match parts.next() {
+            Some("crates") => parts.next().unwrap_or("(root)"),
+            _ => "(root)",
+        }
+    }
+}
+
+/// What the next `{` opens.
+enum Pending {
+    Fn { item: usize },
+    Ctx(Ctx),
+}
+
+/// One entry of the context stack.
+enum Ctx {
+    /// A plain block (fn bodies are tracked separately, this covers
+    /// struct/enum/match/loop/closure braces).
+    Block,
+    /// A `mod name { ... }` item.
+    Mod { test: bool },
+    /// An `impl`/`trait` block with the owning type name.
+    Impl { ty: Option<String>, test: bool },
+    /// A function body; `item` indexes `FileParser::fns`.
+    Fn { item: usize },
+}
+
+struct FileParser<'a> {
+    tokens: &'a [Token],
+    file: usize,
+    whole_file_test: bool,
+    fns: Vec<FnItem>,
+    uses: Vec<UseImport>,
+    use_spans: Vec<(usize, usize)>,
+}
+
+impl FileParser<'_> {
+    fn run(&mut self) {
+        let mut stack: Vec<Ctx> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        let mut attr_test = false;
+        let mut prev: Option<&TokenKind> = None;
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            match &t.kind {
+                TokenKind::Punct('#') if self.is_attr_start(i) => {
+                    let (end, is_test) = self.skip_attr(i);
+                    attr_test |= is_test;
+                    i = end;
+                    // Attributes are invisible to the prev-token item
+                    // position check.
+                    continue;
+                }
+                TokenKind::Punct('{') => {
+                    stack.push(match pending.take() {
+                        Some(Pending::Fn { item }) => {
+                            self.fns[item].body = Some((i + 1, i + 1));
+                            Ctx::Fn { item }
+                        }
+                        Some(Pending::Ctx(c)) => c,
+                        None => Ctx::Block,
+                    });
+                    attr_test = false;
+                }
+                TokenKind::Punct('}') => {
+                    if let Some(Ctx::Fn { item }) = stack.pop() {
+                        if let Some((start, _)) = self.fns[item].body {
+                            self.fns[item].body = Some((start, i));
+                        }
+                    }
+                }
+                TokenKind::Punct(';') => {
+                    // `mod name;`, bodyless signatures, statements: any
+                    // pending item is finished without a body.
+                    pending = None;
+                    attr_test = false;
+                }
+                TokenKind::Ident(id) => match id.as_str() {
+                    "fn" if self.ident_at(i + 1).is_some() => {
+                        let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                        let in_test = self.whole_file_test
+                            || attr_test
+                            || stack.iter().any(|c| match c {
+                                Ctx::Mod { test } | Ctx::Impl { test, .. } => *test,
+                                _ => false,
+                            });
+                        let owner = stack.iter().rev().find_map(|c| match c {
+                            Ctx::Impl { ty, .. } => ty.clone(),
+                            _ => None,
+                        });
+                        let item = self.fns.len();
+                        self.fns.push(FnItem {
+                            file: self.file,
+                            name,
+                            owner,
+                            line: t.line,
+                            body: None,
+                            in_test,
+                        });
+                        attr_test = false;
+                        // Skip the signature up to the body `{` or `;`.
+                        i = self.skip_signature(i + 2);
+                        pending = Some(Pending::Fn { item });
+                        prev = None;
+                        continue;
+                    }
+                    "mod" if self.ident_at(i + 1).is_some() => {
+                        let test = attr_test
+                            || stack.iter().any(|c| match c {
+                                Ctx::Mod { test } | Ctx::Impl { test, .. } => *test,
+                                _ => false,
+                            });
+                        pending = Some(Pending::Ctx(Ctx::Mod { test }));
+                        attr_test = false;
+                        i += 2;
+                        prev = None;
+                        continue;
+                    }
+                    "impl" if is_item_position(prev) => {
+                        let test = attr_test
+                            || stack.iter().any(|c| match c {
+                                Ctx::Mod { test } | Ctx::Impl { test, .. } => *test,
+                                _ => false,
+                            });
+                        let (end, ty) = self.parse_impl_header(i + 1);
+                        pending = Some(Pending::Ctx(Ctx::Impl { ty, test }));
+                        attr_test = false;
+                        i = end;
+                        prev = None;
+                        continue;
+                    }
+                    "trait" if self.ident_at(i + 1).is_some() => {
+                        let test = attr_test
+                            || stack.iter().any(|c| match c {
+                                Ctx::Mod { test } | Ctx::Impl { test, .. } => *test,
+                                _ => false,
+                            });
+                        let ty = self.ident_at(i + 1).map(str::to_string);
+                        pending = Some(Pending::Ctx(Ctx::Impl { ty, test }));
+                        attr_test = false;
+                        i = self.skip_to_brace_or_semi(i + 2);
+                        prev = None;
+                        continue;
+                    }
+                    "use" if is_item_position(prev) => {
+                        let end = self.parse_use(i);
+                        attr_test = false;
+                        i = end;
+                        prev = None;
+                        continue;
+                    }
+                    _ => {}
+                },
+                TokenKind::Punct(_) => {}
+            }
+            prev = Some(&t.kind);
+            i += 1;
+        }
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).and_then(|t| t.kind.ident())
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind.is_punct(c))
+    }
+
+    fn is_attr_start(&self, i: usize) -> bool {
+        self.is_punct(i + 1, '[') || (self.is_punct(i + 1, '!') && self.is_punct(i + 2, '['))
+    }
+
+    /// Skips `#[...]` / `#![...]`, returning (index past `]`, saw cfg(test)).
+    fn skip_attr(&self, i: usize) -> (usize, bool) {
+        let mut j = i + 1;
+        if self.is_punct(j, '!') {
+            j += 1;
+        }
+        // j is at `[`.
+        let mut depth = 0i32;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while let Some(t) = self.tokens.get(j) {
+            match &t.kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (j + 1, saw_cfg && saw_test);
+                    }
+                }
+                TokenKind::Ident(id) => {
+                    if id == "cfg" {
+                        saw_cfg = true;
+                    } else if id == "test" {
+                        saw_test = true;
+                    }
+                }
+                TokenKind::Punct(_) => {}
+            }
+            j += 1;
+        }
+        (j, saw_cfg && saw_test)
+    }
+
+    /// Skips a fn signature starting just past the name: generics,
+    /// params, return type, where clause — up to (not past) the body
+    /// `{` or the terminating `;`.
+    fn skip_signature(&self, mut i: usize) -> usize {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        while let Some(t) = self.tokens.get(i) {
+            match &t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket -= 1,
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => {
+                    // `->` arrows don't close generics.
+                    let arrow = i > 0 && self.is_punct(i - 1, '-');
+                    if !arrow && angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                TokenKind::Punct('{') if paren == 0 && bracket == 0 && angle <= 0 => {
+                    return i;
+                }
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 => {
+                    return i;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Skips a trait header (supertraits, where clause) to its `{`/`;`.
+    fn skip_to_brace_or_semi(&self, mut i: usize) -> usize {
+        while let Some(t) = self.tokens.get(i) {
+            match &t.kind {
+                TokenKind::Punct('{' | ';') => return i,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// Parses an `impl` header starting just past the `impl` keyword.
+    /// Returns (index of the opening `{` or fallback, impl target type):
+    /// the last angle-depth-0 path ident before `{`/`where`, taken after
+    /// `for` when present (`impl Trait for Type`).
+    fn parse_impl_header(&self, mut i: usize) -> (usize, Option<String>) {
+        let mut angle = 0i32;
+        let mut current: Option<String> = None;
+        while let Some(t) = self.tokens.get(i) {
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => {
+                    let arrow = i > 0 && self.is_punct(i - 1, '-');
+                    if !arrow && angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                TokenKind::Punct('{') if angle <= 0 => return (i, current),
+                TokenKind::Punct(';') if angle <= 0 => return (i, current),
+                TokenKind::Ident(id) if angle <= 0 => match id.as_str() {
+                    "for" => current = None,
+                    "where" => {
+                        return (self.skip_to_brace_or_semi(i), current);
+                    }
+                    _ => current = Some(id.clone()),
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        (i, current)
+    }
+
+    /// Parses a `use` item starting at the `use` keyword; records leaves
+    /// and the token span, returns the index past the closing `;`.
+    fn parse_use(&mut self, start: usize) -> usize {
+        let mut i = start + 1;
+        let mut brace = 0i32;
+        let root = self.ident_at(i).unwrap_or("").to_string();
+        let mut last_ident: Option<String> = None;
+        let mut after_as = false;
+        while let Some(t) = self.tokens.get(i) {
+            match &t.kind {
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') => {
+                    brace -= 1;
+                    self.flush_use_leaf(&root, &mut last_ident);
+                }
+                TokenKind::Punct(';') if brace == 0 => {
+                    self.flush_use_leaf(&root, &mut last_ident);
+                    self.use_spans.push((start, i + 1));
+                    return i + 1;
+                }
+                TokenKind::Punct(',') => self.flush_use_leaf(&root, &mut last_ident),
+                TokenKind::Ident(id) => {
+                    if id == "as" {
+                        after_as = true;
+                    } else {
+                        // An `as` alias replaces the leaf it renames.
+                        last_ident = Some(id.clone());
+                        let _ = after_as;
+                        after_as = false;
+                    }
+                }
+                TokenKind::Punct(_) => {}
+            }
+            i += 1;
+        }
+        self.use_spans.push((start, i));
+        i
+    }
+
+    fn flush_use_leaf(&mut self, root: &str, last: &mut Option<String>) {
+        if let Some(name) = last.take() {
+            if name != "self" && name != root {
+                self.uses.push(UseImport {
+                    name,
+                    root: root.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether an `impl`/`use` keyword at this prev-token position starts an
+/// item (vs `-> impl Trait`, `(impl Trait`, `dyn`-position, …).
+fn is_item_position(prev: Option<&TokenKind>) -> bool {
+    match prev {
+        None => true,
+        Some(TokenKind::Punct(c)) => matches!(c, '}' | ';' | '{' | ']'),
+        Some(TokenKind::Ident(id)) => id == "unsafe" || id == "pub",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Workspace {
+        Workspace::parse(&[("crates/x/src/a.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_extracted() {
+        let ws = parse_one(
+            "fn alpha() { beta(); }\n\
+             impl Gamma {\n    fn beta(&self) -> u32 { 1 }\n}\n\
+             impl std::fmt::Display for Delta {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = ws
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", None),
+                ("beta", Some("Gamma")),
+                ("fmt", Some("Delta")),
+            ]
+        );
+        assert!(ws.fns.iter().all(|f| !f.in_test));
+    }
+
+    #[test]
+    fn bodies_cover_their_tokens() {
+        let ws = parse_one("fn f() { let x = g(); x }\nfn g() -> u32 { 2 }\n");
+        let f = &ws.fns[0];
+        let (a, b) = f.body.expect("body");
+        let idents: Vec<&str> = ws.files[0].lexed.tokens[a..b]
+            .iter()
+            .filter_map(|t| t.kind.ident())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "g", "x"]);
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_inherits() {
+        let ws = parse_one(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n",
+        );
+        let by: BTreeMap<&str, bool> = ws
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert!(!by["live"]);
+        assert!(by["helper"]);
+        assert!(by["case"]);
+    }
+
+    #[test]
+    fn tests_dir_files_are_whole_file_test() {
+        let ws = Workspace::parse(&[(
+            "crates/x/tests/t.rs".to_string(),
+            "fn anything() {}".to_string(),
+        )]);
+        assert!(ws.fns[0].in_test);
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_impl_block() {
+        let ws = parse_one(
+            "fn make() -> impl Iterator<Item = u32> { (0..3).map(|x| x) }\nfn after() {}\n",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["make", "after"]);
+        assert!(ws.fns.iter().all(|f| f.owner.is_none()));
+    }
+
+    #[test]
+    fn generic_signatures_find_their_bodies() {
+        let ws = parse_one(
+            "fn run<G, F>(cfg: &u32, f: F) -> Vec<u64>\nwhere\n    G: Fn(u32) -> u32,\n    F: Fn(&u32) -> Vec<f64> + Sync,\n{\n    inner()\n}\n",
+        );
+        let f = &ws.fns[0];
+        assert_eq!(f.name, "run");
+        let (a, b) = f.body.expect("body");
+        let idents: Vec<&str> = ws.files[0].lexed.tokens[a..b]
+            .iter()
+            .filter_map(|t| t.kind.ident())
+            .collect();
+        assert_eq!(idents, vec!["inner"]);
+    }
+
+    #[test]
+    fn use_leaves_and_aliases_are_recorded() {
+        let ws = parse_one(
+            "use emr_fault::reach_bits::{minimal_path_exists_bits, reach_row as rr};\nuse std::collections::BTreeMap;\nfn f() {}\n",
+        );
+        let uses = &ws.files[0].uses;
+        assert!(uses.contains(&UseImport {
+            name: "minimal_path_exists_bits".to_string(),
+            root: "emr_fault".to_string()
+        }));
+        assert!(uses.contains(&UseImport {
+            name: "rr".to_string(),
+            root: "emr_fault".to_string()
+        }));
+        assert!(uses.contains(&UseImport {
+            name: "BTreeMap".to_string(),
+            root: "std".to_string()
+        }));
+        // The fn after the use items is still parsed.
+        assert_eq!(ws.fns.len(), 1);
+    }
+
+    #[test]
+    fn trait_default_methods_get_the_trait_owner() {
+        let ws = parse_one("trait Oracle {\n    fn check(&self) -> bool { true }\n    fn name(&self) -> &str;\n}\n");
+        assert_eq!(ws.fns[0].name, "check");
+        assert_eq!(ws.fns[0].owner.as_deref(), Some("Oracle"));
+        assert!(ws.fns[0].body.is_some());
+        assert_eq!(ws.fns[1].name, "name");
+        assert!(ws.fns[1].body.is_none());
+    }
+}

@@ -60,6 +60,143 @@ pub fn json(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders findings as minimal SARIF 2.1.0 so CI can annotate PRs.
+pub fn sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"emr-lint\",\"rules\":[",
+    );
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":{}}}", json_str(r));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&format!("{} — fix: {}", f.summary, f.suggestion)),
+            json_str(&f.path),
+            f.line,
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// One finding key for diffing: rule + path + summary (line numbers
+/// shift with unrelated edits, so they are not part of the key).
+fn diff_key(rule: &str, path: &str, summary: &str) -> String {
+    format!("{rule}\u{1}{path}\u{1}{summary}")
+}
+
+/// Diffs current findings against a baseline JSON document previously
+/// produced by [`json`]. Returns `(new, fixed)`: findings not in the
+/// baseline, and baseline entries (rendered as `rule path summary`
+/// strings) no longer present.
+pub fn diff_against_baseline<'a>(
+    findings: &'a [Finding],
+    baseline_json: &str,
+) -> (Vec<&'a Finding>, Vec<String>) {
+    let baseline = parse_own_json(baseline_json);
+    let base_keys: Vec<String> = baseline.iter().map(|(r, p, s)| diff_key(r, p, s)).collect();
+    let cur_keys: Vec<String> = findings
+        .iter()
+        .map(|f| diff_key(f.rule, &f.path, &f.summary))
+        .collect();
+    let new: Vec<&Finding> = findings
+        .iter()
+        .zip(cur_keys.iter())
+        .filter(|(_, k)| !base_keys.contains(k))
+        .map(|(f, _)| f)
+        .collect();
+    let fixed: Vec<String> = baseline
+        .iter()
+        .zip(base_keys.iter())
+        .filter(|(_, k)| !cur_keys.contains(k))
+        .map(|((r, p, s), _)| format!("{r}: {p} — {s}"))
+        .collect();
+    (new, fixed)
+}
+
+/// Parses the fixed-shape JSON emitted by [`json`] back into
+/// `(rule, path, summary)` triples. Hand-rolled like the emitter: the
+/// vendored `serde_json` is a stand-in, and the format is ours, so the
+/// parser only needs to read what [`json`] writes.
+fn parse_own_json(doc: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(pos) = rest.find("{\"rule\":") {
+        rest = &rest[pos..];
+        let Some(rule) = read_str_field(rest, "\"rule\":") else {
+            break;
+        };
+        let Some(path) = read_str_field(rest, "\"path\":") else {
+            break;
+        };
+        let Some(summary) = read_str_field(rest, "\"summary\":") else {
+            break;
+        };
+        out.push((rule, path, summary));
+        rest = &rest[1..];
+    }
+    out
+}
+
+/// Reads the JSON string value following `key` in `obj`, unescaping.
+fn read_str_field(obj: &str, key: &str) -> Option<String> {
+    let start = obj.find(key)? + key.len();
+    let bytes = obj.as_bytes();
+    if bytes.get(start) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut chars = obj[start + 1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                e => out.push(e),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Renders a findings diff as a short human report for CI logs.
+pub fn human_diff(new: &[&Finding], fixed: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "emr-lint diff: {} new, {} fixed",
+        new.len(),
+        fixed.len()
+    );
+    for f in new {
+        let _ = writeln!(out, "  NEW {}: {}:{} {}", f.rule, f.path, f.line, f.summary);
+    }
+    for f in fixed {
+        let _ = writeln!(out, "  FIXED {f}");
+    }
+    out
+}
+
 /// Minimal JSON string escaping.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -97,5 +234,48 @@ mod tests {
         assert!(doc.contains("\\\"thing\\\""));
         assert!(doc.contains("\\nit"));
         assert!(doc.ends_with("\"count\":1}\n"));
+    }
+
+    fn mk(rule: &'static str, path: &str, summary: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 7,
+            summary: summary.to_string(),
+            suggestion: "do better".to_string(),
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_locations() {
+        let doc = sarif(&[mk("A1", "crates/serve/src/store.rs", "reachable unwrap")]);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"name\":\"emr-lint\""));
+        assert!(doc.contains("\"ruleId\":\"A1\""));
+        assert!(doc.contains("\"uri\":\"crates/serve/src/store.rs\""));
+        assert!(doc.contains("\"startLine\":7"));
+    }
+
+    #[test]
+    fn diff_round_trips_through_own_json() {
+        let old = [mk("A1", "a.rs", "stays"), mk("A2", "b.rs", "goes \"away\"")];
+        let baseline = json(&old);
+        let cur = [mk("A1", "a.rs", "stays"), mk("A3", "c.rs", "appears")];
+        let (new, fixed) = diff_against_baseline(&cur, &baseline);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].summary, "appears");
+        assert_eq!(fixed.len(), 1);
+        assert!(fixed[0].contains("goes \"away\""));
+    }
+
+    #[test]
+    fn diff_ignores_line_shifts() {
+        let mut moved = mk("A1", "a.rs", "same finding");
+        moved.line = 99;
+        let baseline = json(&[mk("A1", "a.rs", "same finding")]);
+        let cur = [moved];
+        let (new, fixed) = diff_against_baseline(&cur, &baseline);
+        assert!(new.is_empty());
+        assert!(fixed.is_empty());
     }
 }

@@ -27,10 +27,11 @@ pub const FIRST_PARTY_ROOTS: &[&str] = &[
 
 /// Directories under a crate that are never scanned: the lint's own
 /// known-bad fixtures, and build output.
-const SKIP_DIRS: &[&str] = &["fixtures", "target"];
+pub const SKIP_DIRS: &[&str] = &["fixtures", "target"];
 
 /// Scans every first-party `.rs` file under `root` and returns all
-/// findings, sorted by (path, line, rule).
+/// findings — the lexical R-rules per file, then the workspace-wide
+/// analysis families (A1–A3) — sorted by (path, line, rule).
 pub fn scan_workspace(root: &Path) -> Vec<Finding> {
     let mut files = Vec::new();
     for fp in FIRST_PARTY_ROOTS {
@@ -38,6 +39,7 @@ pub fn scan_workspace(root: &Path) -> Vec<Finding> {
     }
     files.sort();
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let Ok(src) = fs::read_to_string(file) else {
             continue;
@@ -48,7 +50,9 @@ pub fn scan_workspace(root: &Path) -> Vec<Finding> {
             .to_string_lossy()
             .replace('\\', "/");
         findings.extend(scan_source(&rel, &src));
+        sources.push((rel, src));
     }
+    findings.extend(crate::families::analyze_files(&sources));
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     findings

@@ -1,0 +1,274 @@
+//! Fixture suite for the v2 analysis families: each known-bad snippet
+//! must produce exactly the expected finding under its virtual path,
+//! and the allow-annotated variant must suppress it — mirroring the
+//! R-rule fixtures in `tests/fixtures.rs`.
+//!
+//! The last two tests demonstrate the gate's teeth against the real
+//! workspace: deleting one allow annotation, or injecting an unwrap
+//! reachable from the serve dispatch, must surface findings.
+
+use std::fs;
+use std::path::Path;
+
+use emr_lint::analyze_files;
+use emr_lint::report::Finding;
+use emr_lint::scan::{FIRST_PARTY_ROOTS, SKIP_DIRS};
+
+fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_files(&owned)
+}
+
+/// Asserts the fixture yields exactly one finding of `rule` at `line`.
+fn assert_single(virtual_path: &str, src: &str, rule: &str, line: u32) {
+    let findings = analyze(&[(virtual_path, src)]);
+    assert_eq!(
+        findings.len(),
+        1,
+        "{virtual_path}: expected exactly one finding, got {findings:#?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert_eq!(findings[0].path, virtual_path);
+    assert_eq!(findings[0].line, line);
+}
+
+fn assert_suppressed(virtual_path: &str, src: &str) {
+    let findings = analyze(&[(virtual_path, src)]);
+    assert!(
+        findings.is_empty(),
+        "{virtual_path}: allow must suppress, got {findings:#?}"
+    );
+}
+
+#[test]
+fn a1_reachable_unwrap_fires_once() {
+    assert_single(
+        "crates/serve/src/store.rs",
+        include_str!("../fixtures/a1_reachable_unwrap.rs"),
+        "A1",
+        8,
+    );
+}
+
+#[test]
+fn a1_reachable_unwrap_allow_suppresses() {
+    assert_suppressed(
+        "crates/serve/src/store.rs",
+        include_str!("../fixtures/a1_reachable_unwrap_allowed.rs"),
+    );
+}
+
+#[test]
+fn a1_read_path_indexing_fires_once() {
+    assert_single(
+        "crates/serve/src/snapshot.rs",
+        include_str!("../fixtures/a1_index_read_path.rs"),
+        "A1",
+        8,
+    );
+}
+
+#[test]
+fn a1_read_path_indexing_fn_level_allow_suppresses() {
+    assert_suppressed(
+        "crates/serve/src/snapshot.rs",
+        include_str!("../fixtures/a1_index_read_path_allowed.rs"),
+    );
+}
+
+#[test]
+fn a1_unwrap_outside_any_root_closure_is_quiet() {
+    // The same source under a path no root resolves against: the
+    // families are reachability-scoped, not path-scoped like R3 was.
+    let findings = analyze(&[(
+        "crates/mesh/src/fixture.rs",
+        include_str!("../fixtures/a1_reachable_unwrap.rs"),
+    )]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn a2_spawn_without_disjoint_hand_out_fires_once() {
+    assert_single(
+        "crates/fault/src/fixture.rs",
+        include_str!("../fixtures/a2_spawn_no_disjoint.rs"),
+        "A2",
+        5,
+    );
+}
+
+#[test]
+fn a2_spawn_allow_suppresses() {
+    assert_suppressed(
+        "crates/fault/src/fixture.rs",
+        include_str!("../fixtures/a2_spawn_no_disjoint_allowed.rs"),
+    );
+}
+
+#[test]
+fn a2_sync_primitive_outside_store_fires_once() {
+    assert_single(
+        "crates/analysis/src/fixture.rs",
+        include_str!("../fixtures/a2_sync_outside_allowlist.rs"),
+        "A2",
+        3,
+    );
+}
+
+#[test]
+fn a2_sync_allow_suppresses() {
+    assert_suppressed(
+        "crates/analysis/src/fixture.rs",
+        include_str!("../fixtures/a2_sync_outside_allowlist_allowed.rs"),
+    );
+}
+
+#[test]
+fn a2_sync_is_legitimate_inside_the_store() {
+    let findings = analyze(&[(
+        "crates/serve/src/store.rs",
+        include_str!("../fixtures/a2_sync_outside_allowlist.rs"),
+    )]);
+    assert!(findings.is_empty(), "store is the boundary: {findings:#?}");
+}
+
+#[test]
+fn a3_epoch_arithmetic_fires_once() {
+    assert_single(
+        "crates/serve/src/fixture.rs",
+        include_str!("../fixtures/a3_epoch_math.rs"),
+        "A3",
+        3,
+    );
+}
+
+#[test]
+fn a3_epoch_arithmetic_allow_suppresses() {
+    assert_suppressed(
+        "crates/serve/src/fixture.rs",
+        include_str!("../fixtures/a3_epoch_math_allowed.rs"),
+    );
+}
+
+#[test]
+fn a3_epoch_arithmetic_is_legitimate_in_the_producer() {
+    let findings = analyze(&[(
+        "crates/core/src/state.rs",
+        include_str!("../fixtures/a3_epoch_math.rs"),
+    )]);
+    assert!(
+        findings.is_empty(),
+        "state.rs is the producer: {findings:#?}"
+    );
+}
+
+#[test]
+fn a3_snapshot_mutation_fires_once() {
+    assert_single(
+        "crates/serve/src/snapshot.rs",
+        include_str!("../fixtures/a3_snapshot_mut.rs"),
+        "A3",
+        9,
+    );
+}
+
+#[test]
+fn a3_snapshot_mutation_allow_suppresses() {
+    assert_suppressed(
+        "crates/serve/src/snapshot.rs",
+        include_str!("../fixtures/a3_snapshot_mut_allowed.rs"),
+    );
+}
+
+// ---- gate-teeth demonstrations against the real workspace ----
+
+/// Loads every first-party source file as `(workspace-relative path,
+/// contents)`, the same set the binary scans.
+fn workspace_sources() -> Vec<(String, String)> {
+    let root = emr_lint::workspace_root();
+    let mut files = Vec::new();
+    for fp in FIRST_PARTY_ROOTS {
+        collect(&root.join(fp), &root, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, root, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(src) = fs::read_to_string(&path) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((rel, src));
+            }
+        }
+    }
+}
+
+#[test]
+fn deleting_one_allow_fails_the_gate() {
+    let mut files = workspace_sources();
+    let loopback = files
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("crates/serve/src/loopback.rs"))
+        .expect("loopback.rs is part of the workspace");
+    let stripped: Vec<&str> = loopback
+        .1
+        .lines()
+        .filter(|l| !l.contains("emr-lint: allow(A1"))
+        .collect();
+    assert!(
+        stripped.len() < loopback.1.lines().count(),
+        "loopback.rs should carry A1 allows"
+    );
+    loopback.1 = stripped.join("\n");
+    let findings = analyze_files(&files);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "A1" && f.path.ends_with("crates/serve/src/loopback.rs")),
+        "stripping loopback's allows must surface its A1 findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn injecting_an_unwrap_reachable_from_dispatch_fails_the_gate() {
+    let mut files = workspace_sources();
+    assert!(
+        analyze_files(&files).is_empty(),
+        "HEAD must be clean before the injection"
+    );
+    let store = files
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("crates/serve/src/store.rs"))
+        .expect("store.rs is part of the workspace");
+    let anchor = "let mut pins: BTreeMap<String, Arc<Snapshot>> = BTreeMap::new();";
+    assert!(store.1.contains(anchor), "handle_batch anchor moved");
+    store.1 = store.1.replace(
+        anchor,
+        "let mut pins: BTreeMap<String, Arc<Snapshot>> = BTreeMap::new();\n        let _poison = reqs.first().unwrap();",
+    );
+    let findings = analyze_files(&files);
+    assert!(
+        findings.iter().any(|f| f.rule == "A1"
+            && f.path.ends_with("crates/serve/src/store.rs")
+            && f.summary.contains("handle_batch")),
+        "an unwrap inside handle_batch must be flagged: {findings:#?}"
+    );
+}

@@ -51,9 +51,11 @@ fn r2_is_exempt_inside_bench() {
 }
 
 #[test]
-fn r3_unwrap_fires_once_in_route_path() {
+fn r3_unwrap_fires_once_in_protocol_path() {
+    // v2 note: `crates/core/src/route/` left R3's path list — the A1
+    // family audits it by reachability from the serve dispatch instead.
     assert_single_finding(
-        "crates/core/src/route/fixture.rs",
+        "crates/distsim/src/protocols/fixture.rs",
         include_str!("../fixtures/r3_unwrap.rs"),
         "R3",
         4,

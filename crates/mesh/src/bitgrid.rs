@@ -50,6 +50,7 @@ fn tail_mask(len: usize) -> u64 {
 /// old bit `r` of `a[i]`. The classic recursive block swap (Hacker's
 /// Delight §7-3), with the shift directions mirrored for this crate's
 /// LSB-first column convention (bit 0 = lowest column index).
+// emr-lint: allow(A1, "a fixed 64x64 tile: every index is masked to 0..64")
 fn transpose64(a: &mut [u64; 64]) {
     let mut j = 32usize;
     let mut m = 0x0000_0000_FFFF_FFFFu64;
@@ -130,6 +131,7 @@ impl BitGrid {
     }
 
     /// The bit at `c`, or `None` when `c` is outside the mesh.
+    // emr-lint: allow(A1, "the word offset is derived from a coordinate already checked by contains")
     pub fn get(&self, c: Coord) -> Option<bool> {
         self.mesh.contains(c).then(|| {
             let (wi, bit) = self.word_index(c);
@@ -143,6 +145,7 @@ impl BitGrid {
     ///
     /// Panics if `c` is outside the mesh; use [`BitGrid::get`] for checked
     /// reads.
+    // emr-lint: allow(A1, "documented panic contract: asserts `c` is inside the grid before computing the word offset")
     pub fn set(&mut self, c: Coord, value: bool) {
         assert!(self.mesh.contains(c), "{c} outside {:?}", self.mesh);
         let (wi, bit) = self.word_index(c);
@@ -154,6 +157,7 @@ impl BitGrid {
     }
 
     /// Sets every node's bit to `value` (tail bits stay zero).
+    // emr-lint: allow(A1, "fill walks exactly the words the grid owns")
     pub fn fill(&mut self, value: bool) {
         if value {
             let mask = tail_mask(self.mesh.width() as usize);
@@ -176,6 +180,7 @@ impl BitGrid {
     /// # Panics
     ///
     /// Panics if `y` is outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: asserts the row is in range before slicing its words")
     pub fn row(&self, y: i32) -> &[u64] {
         let start = self.row_start(y);
         &self.words[start..start + self.words_per_row]
@@ -187,6 +192,7 @@ impl BitGrid {
     /// # Panics
     ///
     /// Panics if `y` is outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: asserts the row is in range before slicing its words")
     pub fn row_mut(&mut self, y: i32) -> &mut [u64] {
         let start = self.row_start(y);
         &mut self.words[start..start + self.words_per_row]
@@ -253,6 +259,7 @@ impl BitGrid {
     /// `self` at `(x, y)`. Runs on 64×64 word tiles, so a full transpose
     /// costs ~6 word operations per 64 nodes — cheap enough to turn every
     /// column-direction kernel into a row-direction one.
+    // emr-lint: allow(A1, "documented panic contract: asserts matching dimensions, then walks whole 64x64 tiles")
     pub fn transpose_into(&self, dst: &mut BitGrid) {
         let (w, h) = (self.mesh.width(), self.mesh.height());
         dst.reset(Mesh::new(h, w));

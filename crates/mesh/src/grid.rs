@@ -66,6 +66,7 @@ impl<T> Grid<T> {
     }
 
     /// The value at `c`, or `None` when `c` is outside the mesh.
+    // emr-lint: allow(A1, "the flat offset is computed only after contains confirms the coordinate")
     pub fn get(&self, c: Coord) -> Option<&T> {
         self.mesh
             .contains(c)
@@ -118,6 +119,7 @@ impl<T> Index<Coord> for Grid<T> {
     ///
     /// Panics if `c` is outside the mesh; use [`Grid::get`] for checked
     /// access.
+    // emr-lint: allow(A1, "documented panic contract: Index asserts the coordinate is inside the grid")
     fn index(&self, c: Coord) -> &T {
         &self.data[self.mesh.index_of(c)]
     }

@@ -56,6 +56,7 @@ impl LaneIndex {
 
     /// Retargets this index to `packed`'s mesh and re-extracts every
     /// lane, reusing the existing lane allocations where possible.
+    // emr-lint: allow(A1, "lane vectors are rebuilt to one entry per row and column of the packed grid")
     pub fn refresh_from_packed(&mut self, packed: &BitGrid) {
         let mesh = packed.mesh();
         self.mesh = mesh;
@@ -154,6 +155,7 @@ impl LaneIndex {
     /// # Panics
     ///
     /// Panics if `y` is outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: asserts the row is in range before returning its lane")
     pub fn row(&self, y: i32) -> &[u32] {
         assert!(
             (0..self.mesh.height()).contains(&y),
@@ -168,6 +170,7 @@ impl LaneIndex {
     /// # Panics
     ///
     /// Panics if `x` is outside the mesh.
+    // emr-lint: allow(A1, "documented panic contract: asserts the column is in range before returning its lane")
     pub fn col(&self, x: i32) -> &[u32] {
         assert!(
             (0..self.mesh.width()).contains(&x),
@@ -179,6 +182,7 @@ impl LaneIndex {
 
     /// Whether the node at `c` is an obstacle (a set bit of the source
     /// grid). `false` for coordinates outside the mesh.
+    // emr-lint: allow(A1, "row() asserts the coordinate is in range; the binary search stays inside the lane")
     pub fn contains(&self, c: Coord) -> bool {
         self.mesh.contains(c)
             && self.rows[c.y as usize]

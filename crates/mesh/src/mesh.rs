@@ -118,6 +118,7 @@ pub struct Neighbors<'a> {
 impl Iterator for Neighbors<'_> {
     type Item = Coord;
 
+    // emr-lint: allow(A1, "the iterator cursor is clamped to width*height before being decomposed")
     fn next(&mut self) -> Option<Coord> {
         while self.next < 4 {
             let dir = Direction::ALL[self.next];

@@ -106,6 +106,7 @@ impl Path {
     /// # Panics
     ///
     /// Panics if either path is empty or the endpoints do not match.
+    // emr-lint: allow(A1, "documented panic contract: callers splice two non-empty phases that share the junction node")
     pub fn join(mut self, second: Path) -> Path {
         let end = self.dest().expect("joining an empty path");
         let start = second.source().expect("joining with an empty path");

@@ -345,7 +345,6 @@ fn writer_phase(
                 fault: c,
             }));
             mirror.faults.insert(c);
-            mirror.working_epoch += 1;
         }
         for _ in 0..cfg.warm_per_epoch {
             let model = if rng.gen_bool(0.5) {
@@ -364,6 +363,16 @@ fn writer_phase(
             mesh: mirror.name.clone(),
         }));
         let responses = client.send(&batch);
+        if fault.is_some() {
+            // Epoch discipline (A3): the mirror adopts the epoch the
+            // server produced for the insert instead of deriving it
+            // locally — epochs flow from the advance/publish sites and
+            // are only ever compared.
+            let Some(Response::Injected(inj)) = responses.first() else {
+                panic!("inject failed: {:?}", responses.first());
+            };
+            mirror.working_epoch = inj.working_epoch;
+        }
         let Some(Response::Published(published)) = responses.last() else {
             panic!("advance failed: {:?}", responses.last());
         };
@@ -393,6 +402,7 @@ fn client_phase(
     mirrors: &[TenantMirror],
 ) -> Vec<ClientTally> {
     let chunk_count = cfg.clients.div_ceil(CHUNK_CLIENTS);
+    // emr-lint: allow(A2, "work-stealing cursor: claim order is nondeterministic but results are merged in ascending chunk order below")
     let cursor = AtomicUsize::new(0);
     let mut chunks: Vec<(usize, Vec<ClientTally>)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..cfg.threads.min(chunk_count).max(1))

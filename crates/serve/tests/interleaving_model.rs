@@ -1,0 +1,267 @@
+//! Hand-rolled interleaving model for the writer-publish vs
+//! pinned-reader race.
+//!
+//! The store's claim is snapshot isolation: a read pinned at epoch *e*
+//! answers from an immutable snapshot, so its result is a pure function
+//! of the pinned epoch and of *how many writer steps have committed* —
+//! retained or evicted — never of how the read interleaves with
+//! in-flight injects and publishes. Instead of spawning racing threads
+//! and hoping the scheduler explores something interesting, this test
+//! enumerates **every** interleaving of a fixed writer script with a
+//! fixed pinned-reader script (order within each script preserved) and
+//! replays each one deterministically on a fresh store.
+//!
+//! For every interleaving, each reader op that runs after `w` writer ops
+//! must answer exactly like the reference run that executed the whole
+//! `w`-op writer prefix first — and the reference answers themselves are
+//! checked against a fresh `Scenario` build of the pinned fault prefix
+//! (retained case) or a consistent `EpochNotRetained` window (evicted
+//! case).
+
+use std::sync::Arc;
+
+use emr_core::{decide_local, Model, Scenario};
+use emr_fault::{reach_bits, FaultSet};
+use emr_mesh::{Coord, Mesh};
+use emr_serve::api::{
+    AdvanceEpoch, InjectFault, ReachQuery, RegisterMesh, Request, Response, RouteQuery,
+    SafetyQuery, ServeError,
+};
+use emr_serve::store::{Store, StoreConfig};
+
+const W: i32 = 8;
+const H: i32 = 8;
+const MESH_NAME: &str = "interleave";
+const SRC: Coord = Coord { x: 0, y: 0 };
+const DST: Coord = Coord { x: 7, y: 7 };
+
+fn initial_faults() -> Vec<Coord> {
+    vec![Coord::new(2, 2)]
+}
+
+fn writer_faults() -> Vec<Coord> {
+    vec![
+        Coord::new(4, 3),
+        Coord::new(5, 5),
+        Coord::new(1, 4),
+        Coord::new(6, 2),
+    ]
+}
+
+/// One writer step: inject a fault or publish the working state.
+#[derive(Clone, Copy)]
+enum WriterOp {
+    Inject(Coord),
+    Advance,
+}
+
+fn writer_script() -> Vec<WriterOp> {
+    writer_faults()
+        .into_iter()
+        .flat_map(|c| [WriterOp::Inject(c), WriterOp::Advance])
+        .collect()
+}
+
+fn fresh_store() -> Arc<Store> {
+    // retain=2 so the pinned epoch is evicted mid-script: both the
+    // retained and the evicted arm of the race get exercised.
+    let store = Arc::new(Store::new(StoreConfig {
+        shards: 2,
+        retain: 2,
+    }));
+    let resp = store.handle(&Request::Register(RegisterMesh {
+        mesh: MESH_NAME.to_string(),
+        width: W,
+        height: H,
+        faults: initial_faults(),
+    }));
+    assert!(
+        matches!(resp, Response::Registered(_)),
+        "register failed: {resp:?}"
+    );
+    store
+}
+
+fn run_writer_op(store: &Store, op: WriterOp) {
+    match op {
+        WriterOp::Inject(c) => {
+            let resp = store.handle(&Request::Inject(InjectFault {
+                mesh: MESH_NAME.to_string(),
+                fault: c,
+            }));
+            assert!(matches!(resp, Response::Injected(_)), "inject: {resp:?}");
+        }
+        WriterOp::Advance => {
+            let resp = store.handle(&Request::Advance(AdvanceEpoch {
+                mesh: MESH_NAME.to_string(),
+            }));
+            assert!(matches!(resp, Response::Published(_)), "advance: {resp:?}");
+        }
+    }
+}
+
+/// The three pinned reads of the reader script, each sent on its own.
+fn reader_requests(pin: u64) -> Vec<Request> {
+    vec![
+        Request::Route(RouteQuery {
+            mesh: MESH_NAME.to_string(),
+            at_epoch: Some(pin),
+            model: Model::FaultBlock,
+            s: SRC,
+            d: DST,
+        }),
+        Request::Safety(SafetyQuery {
+            mesh: MESH_NAME.to_string(),
+            at_epoch: Some(pin),
+            model: Model::FaultBlock,
+            at: SRC,
+        }),
+        Request::Reach(ReachQuery {
+            mesh: MESH_NAME.to_string(),
+            at_epoch: Some(pin),
+            s: SRC,
+            d: DST,
+        }),
+    ]
+}
+
+/// The epoch published by the first Advance (the reader's pin), taken
+/// from an actual run so the test never does epoch arithmetic.
+fn pinned_epoch() -> u64 {
+    let store = fresh_store();
+    run_writer_op(&store, WriterOp::Inject(writer_faults()[0]));
+    let resp = store.handle(&Request::Advance(AdvanceEpoch {
+        mesh: MESH_NAME.to_string(),
+    }));
+    match resp {
+        Response::Published(p) => p.epoch,
+        other => panic!("advance answered {other:?}"),
+    }
+}
+
+/// Reference answers: `reference[w][i]` is reader op `i` after exactly
+/// the first `w` writer ops committed, with no interleaving at all.
+fn reference_answers(pin: u64) -> Vec<Vec<Response>> {
+    let script = writer_script();
+    (0..=script.len())
+        .map(|w| {
+            let store = fresh_store();
+            for op in &script[..w] {
+                run_writer_op(&store, *op);
+            }
+            reader_requests(pin)
+                .iter()
+                .map(|r| store.handle(r))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn pinned_reads_are_isolated_under_every_interleaving() {
+    let pin = pinned_epoch();
+    let reference = reference_answers(pin);
+    let script = writer_script();
+    let n_w = script.len();
+    let n_r = reader_requests(pin).len();
+    assert_eq!(n_r, 3);
+
+    let mut interleavings = 0usize;
+    // Reader ops sit at merged positions i < j < k among n_w + 3 slots.
+    let total = n_w + n_r;
+    for i in 0..total {
+        for j in (i + 1)..total {
+            for k in (j + 1)..total {
+                let reader_at = [i, j, k];
+                let store = fresh_store();
+                let reqs = reader_requests(pin);
+                let mut w = 0usize; // writer ops committed so far
+                let mut r = 0usize; // reader ops sent so far
+                for slot in 0..total {
+                    if reader_at.contains(&slot) {
+                        let got = store.handle(&reqs[r]);
+                        assert_eq!(
+                            got, reference[w][r],
+                            "interleaving {reader_at:?}: reader op {r} after \
+                             {w} writer ops diverged from the reference prefix run"
+                        );
+                        r += 1;
+                    } else {
+                        run_writer_op(&store, script[w]);
+                        w += 1;
+                    }
+                }
+                interleavings += 1;
+            }
+        }
+    }
+    // C(11, 3) merges of an 8-op writer with a 3-op reader.
+    assert_eq!(interleavings, 165);
+}
+
+#[test]
+fn retained_reference_answers_match_a_fresh_scenario_build() {
+    let pin = pinned_epoch();
+    let reference = reference_answers(pin);
+    let mesh = Mesh::new(W, H);
+    // The pinned prefix: initial faults plus the first injected fault.
+    let mut prefix = initial_faults();
+    prefix.push(writer_faults()[0]);
+    let direct = Scenario::build(FaultSet::from_coords(mesh, prefix.iter().copied()));
+    let faults = direct.faults();
+    let expect_route = decide_local(&direct.view(Model::FaultBlock), SRC, DST);
+    let expect_level = direct.block_safety_map().level(SRC);
+    let expect_reach =
+        reach_bits::minimal_path_exists_bits(&mesh, SRC, DST, |c| faults.is_faulty(c));
+
+    let mut saw_retained = false;
+    let mut saw_evicted = false;
+    for answers in &reference {
+        match &answers[0] {
+            Response::Routed(routed) => {
+                saw_retained = true;
+                assert_eq!(routed.epoch, pin);
+                assert_eq!(
+                    routed.decision, expect_route,
+                    "pinned route diverged from the fresh Scenario build"
+                );
+                let Response::Safety(safety) = &answers[1] else {
+                    panic!("retained prefix answered {:?}", answers[1]);
+                };
+                assert_eq!(safety.level, expect_level);
+                let Response::Reached(reached) = &answers[2] else {
+                    panic!("retained prefix answered {:?}", answers[2]);
+                };
+                assert_eq!(reached.reachable, expect_reach);
+            }
+            Response::Error(ServeError::EpochNotRetained(window)) => {
+                assert_eq!(window.requested, pin);
+                // Before the first Advance the pin does not exist yet
+                // (latest < pin); after enough publishes it is evicted
+                // (oldest > pin). Both arms answer the same error shape.
+                if window.oldest > pin {
+                    saw_evicted = true;
+                } else {
+                    assert!(
+                        window.latest < pin,
+                        "pin inside the retained window answered an error: {window:?}"
+                    );
+                }
+                // All three reads agree the epoch is gone.
+                for a in &answers[1..] {
+                    assert!(
+                        matches!(a, Response::Error(ServeError::EpochNotRetained(w))
+                                 if w.requested == pin),
+                        "inconsistent eviction answer: {a:?}"
+                    );
+                }
+            }
+            other => panic!("unexpected pinned answer: {other:?}"),
+        }
+    }
+    assert!(saw_retained, "no writer prefix left the pin retained");
+    assert!(
+        saw_evicted,
+        "no writer prefix evicted the pin (raise the script length or lower retain)"
+    );
+}
