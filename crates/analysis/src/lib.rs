@@ -10,6 +10,9 @@
 //!   generates scenarios exactly as §5 describes (source at the mesh
 //!   center, destination uniform in the first-quadrant submesh, endpoints
 //!   outside every faulty block), and accumulates per-series percentages,
+//! * [`loadsweep`] — the saturation driver: offered-load sweeps of the
+//!   event-driven network core across traffic patterns and routers, with
+//!   mid-flight fault injection (bit-identical for any thread count),
 //! * [`arrival`] — fault-arrival sequences replayed through the epoched
 //!   incremental path vs a from-scratch rebuild per arrival, with the two
 //!   states checksummed against each other after every epoch.
@@ -20,9 +23,11 @@
 pub mod affected;
 pub mod arrival;
 pub mod histogram;
+pub mod loadsweep;
 pub mod stats;
 pub mod sweep;
 
 pub use arrival::{ArrivalConfig, ArrivalReport};
 pub use histogram::LatencyHistogram;
+pub use loadsweep::{LoadSweepConfig, RouterKind};
 pub use sweep::{SeriesTable, SweepConfig};

@@ -1,0 +1,321 @@
+//! The traffic-core benchmark: event-driven engine vs the cycle-accurate
+//! stepper, plus latency-vs-offered-load curves, recorded to
+//! `BENCH_netsim.json`.
+//!
+//! Three phases, the first two gated:
+//!
+//! 1. **Agreement** — replays a seeded faulty workload (with scheduled
+//!    mid-flight failures) through both cores and refuses to report any
+//!    number unless the full run outcomes are bit-identical (the same
+//!    claim the `netsim-event-matches-cycle` conform oracle checks over
+//!    1000 seeds).
+//! 2. **Throughput** — times workload scheduling + `run_to_completion`
+//!    for both cores on a uniform-traffic run (full: 1M packets at
+//!    128×128). The stepper's scheduling queue is a linear-scan insert
+//!    (quadratic over a batch) and its per-cycle cost is `O(nodes)`, so
+//!    its packets/sec *fall* as the batch grows — the stepper is
+//!    therefore sampled on a capped prefix of the batch
+//!    ([`STEPPER_SAMPLE_CAP`]) and the reported speedup is a lower
+//!    bound on the true full-batch ratio. Gates: the event core must
+//!    never be slower than the stepper, must clear
+//!    [`EVENT_PPS_FLOOR`] packets/sec, and full (non-smoke) runs must
+//!    clear [`FULL_SPEEDUP_GATE`]×.
+//! 3. **Load curves** — the saturation driver
+//!    ([`emr_analysis::loadsweep`]): delivered fraction and mean latency
+//!    for XY / Wu / adaptive at ≥ 8 offered-load points under uniform
+//!    traffic with mid-flight faults.
+//!
+//! Run with `cargo run --release -p emr-bench --bin netsim_report`.
+//! Flags: `--smoke` (64×64, 20k packets, lighter curves — the CI
+//! configuration), `--out <path>` (default `BENCH_netsim.json`),
+//! `--seed <s>`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use emr_analysis::loadsweep::{self, LoadSweepConfig};
+use emr_core::{Model, Scenario, ScenarioState};
+use emr_fault::{inject, FaultSet};
+use emr_mesh::{Coord, Mesh};
+use emr_netsim::{EpochedWuRouter, EventSim, NetSim, TrafficPattern, Workload, XyRouter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Regression gate: the event core must clear this many packets/sec in
+/// every run, including `--smoke` on shared CI hardware.
+const EVENT_PPS_FLOOR: f64 = 20_000.0;
+
+/// Regression gate: minimum event-core speedup over the stepper in full
+/// (non-smoke) runs. Smoke runs only require not-slower.
+const FULL_SPEEDUP_GATE: f64 = 20.0;
+
+/// The stepper's throughput is sampled on at most this many packets of
+/// the batch (its scheduling insert is a linear scan, so per-packet cost
+/// grows with the batch; a capped sample can only *overstate* stepper
+/// packets/sec and therefore understate the reported speedup).
+const STEPPER_SAMPLE_CAP: usize = 200_000;
+
+/// One core's timed run.
+#[derive(Debug, Serialize)]
+struct CoreRun {
+    /// Packets scheduled and resolved.
+    packets: usize,
+    /// Cycles the run simulated.
+    cycles: u64,
+    /// Packets delivered (the rest failed).
+    delivered: u64,
+    /// Wall-clock time: workload scheduling + run to completion, ms.
+    wall_ms: f64,
+    /// Packets resolved per second of wall clock.
+    pps: f64,
+}
+
+/// One row of the latency-vs-load table.
+#[derive(Debug, Serialize)]
+struct CurveRow {
+    /// Offered load in milli-packets per node per cycle.
+    offered_milli: usize,
+    /// One value per column of `curve_columns`, in order.
+    values: Vec<f64>,
+}
+
+/// The record written to `BENCH_netsim.json`.
+#[derive(Debug, Serialize)]
+struct NetsimReport {
+    /// Whether this was a `--smoke` run.
+    smoke: bool,
+    /// Master seed for workloads and fault draws.
+    seed: u64,
+    /// Mesh side length of the throughput phase.
+    mesh_size: i32,
+    /// The cycle-accurate stepper's sampled run.
+    stepper: CoreRun,
+    /// The event-driven core's run.
+    event: CoreRun,
+    /// `event.pps / stepper.pps` (a lower bound when the stepper was
+    /// sampled on a capped prefix).
+    speedup: f64,
+    /// Gate: minimum event packets/sec.
+    event_pps_floor: f64,
+    /// Gate: minimum speedup enforced (1.0 in smoke runs).
+    speedup_gate: f64,
+    /// Column labels of the load curves (`<router>-delivered`,
+    /// `<router>-latency`).
+    curve_columns: Vec<String>,
+    /// Latency-vs-offered-load table, one row per load point.
+    curves: Vec<CurveRow>,
+}
+
+/// Replays one seeded faulty workload (plus scheduled mid-flight
+/// failures) through both cores and panics on any disagreement.
+fn agreement_check(seed: u64) {
+    let mesh = Mesh::square(48);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x61677265);
+    let faults = inject::uniform(mesh, 20, &[], &mut rng);
+    let scenario = Scenario::build(faults);
+    let load = Workload::offered_load(&scenario, TrafficPattern::Uniform, 5_000, 0.01, &mut rng);
+    let window = load.packets().last().map_or(4, |(c, _)| (*c).max(4));
+    let mk = || {
+        EpochedWuRouter::new(
+            ScenarioState::new(scenario.faults().clone()),
+            Model::FaultBlock,
+        )
+    };
+    let mut stepper = NetSim::new(mesh, mk());
+    let mut event = EventSim::new(mesh, mk());
+    load.inject_into(&mut stepper);
+    load.inject_into(&mut event);
+    for j in 1..=4u64 {
+        let c = Coord::new(
+            rng.gen_range(0..mesh.width()),
+            rng.gen_range(0..mesh.height()),
+        );
+        stepper.schedule_fault(c, window * j / 5);
+        event.schedule_fault(c, window * j / 5);
+    }
+    let a = stepper.run_dynamic_to_completion(2_000_000);
+    let b = event.run_dynamic_to_completion(2_000_000);
+    assert_eq!(
+        a, b,
+        "event core disagrees with the stepper; refusing to report numbers"
+    );
+    eprintln!("agreement: both cores identical on the seeded dynamic workload");
+}
+
+/// Times one core end to end: schedule the workload, run to completion.
+fn timed<S, F>(load: &Workload, mut sim: S, run: F) -> CoreRun
+where
+    S: emr_netsim::PacketSink,
+    F: FnOnce(&mut S) -> emr_netsim::SimReport,
+{
+    let start = Instant::now();
+    load.inject_into(&mut sim);
+    let report = run(&mut sim);
+    let wall = start.elapsed();
+    CoreRun {
+        packets: load.len(),
+        cycles: report.cycles,
+        delivered: report.delivered,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        pps: load.len() as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_netsim.json");
+    let mut seed = 0x0e7_51a; // "netsim"-flavored default
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed: not a u64");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    agreement_check(seed);
+
+    // Throughput: uniform traffic on a clean mesh, XY routing (the
+    // cheapest per-hop function, so the timing isolates the cores).
+    let (mesh_size, packets, offered) = if smoke {
+        (64, 20_000, 0.001)
+    } else {
+        (128, 1_000_000, 0.001)
+    };
+    let mesh = Mesh::square(mesh_size);
+    let scenario = Scenario::build(FaultSet::new(mesh));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let load = Workload::offered_load(
+        &scenario,
+        TrafficPattern::Uniform,
+        packets,
+        offered,
+        &mut rng,
+    );
+    let stepper_load = if load.len() > STEPPER_SAMPLE_CAP {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Workload::offered_load(
+            &scenario,
+            TrafficPattern::Uniform,
+            STEPPER_SAMPLE_CAP,
+            offered,
+            &mut rng,
+        )
+    } else {
+        load.clone()
+    };
+
+    eprintln!(
+        "throughput: {mesh_size}x{mesh_size}, {} packets (stepper sampled on {}), offered {offered}",
+        load.len(),
+        stepper_load.len(),
+    );
+    let stepper = timed(
+        &stepper_load,
+        NetSim::new(mesh, XyRouter::fault_free(mesh)),
+        |sim| sim.run_to_completion(u64::MAX).expect("stepper run"),
+    );
+    eprintln!(
+        "  stepper: {} packets in {:.0} ms -> {:.0} pps",
+        stepper.packets, stepper.wall_ms, stepper.pps
+    );
+    let event = timed(
+        &load,
+        EventSim::new(mesh, XyRouter::fault_free(mesh)),
+        |sim| sim.run_to_completion(u64::MAX).expect("event run"),
+    );
+    eprintln!(
+        "  event:   {} packets in {:.0} ms -> {:.0} pps",
+        event.packets, event.wall_ms, event.pps
+    );
+    let speedup = event.pps / stepper.pps;
+    eprintln!("  speedup: {speedup:.1}x (lower bound; stepper sampled on a prefix)");
+
+    // Load curves: ≥ 8 offered-load points, all three routers, uniform
+    // traffic with mid-flight faults.
+    let cfg = if smoke {
+        LoadSweepConfig {
+            seed,
+            mesh_size: 16,
+            packets: 400,
+            trials: 2,
+            max_cycles: 100_000,
+            ..LoadSweepConfig::default()
+        }
+    } else {
+        LoadSweepConfig {
+            seed,
+            ..LoadSweepConfig::default()
+        }
+    };
+    assert!(cfg.offered.len() >= 8, "need at least 8 load points");
+    eprintln!(
+        "load curves: {0}x{0}, {1} packets x {2} trials, {3} points",
+        cfg.mesh_size,
+        cfg.packets,
+        cfg.trials,
+        cfg.offered.len()
+    );
+    let table = loadsweep::run(&cfg);
+    let mut plain = Vec::new();
+    table.write_plain(&mut plain).expect("rendering table");
+    eprint!("{}", String::from_utf8_lossy(&plain));
+
+    let report = NetsimReport {
+        smoke,
+        seed,
+        mesh_size,
+        stepper,
+        event,
+        speedup,
+        event_pps_floor: EVENT_PPS_FLOOR,
+        speedup_gate: if smoke { 1.0 } else { FULL_SPEEDUP_GATE },
+        curve_columns: table.series().to_vec(),
+        curves: table
+            .rows()
+            .map(|(k, values)| CurveRow {
+                offered_milli: k,
+                values,
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializing netsim report");
+    std::fs::write(&out, format!("{json}\n")).expect("writing report");
+    eprintln!("-> {out}");
+
+    // Gates last, so the report file exists for post-mortems either way.
+    let mut failed = false;
+    if report.event.pps < report.event_pps_floor {
+        eprintln!(
+            "GATE FAILED: event core {:.0} pps under the {:.0} floor",
+            report.event.pps, report.event_pps_floor
+        );
+        failed = true;
+    }
+    if report.speedup < report.speedup_gate {
+        eprintln!(
+            "GATE FAILED: speedup {:.2}x under the {:.1}x gate",
+            report.speedup, report.speedup_gate
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "gates passed: event {:.0} pps (floor {:.0}), speedup {:.1}x (gate {:.1}x)",
+        report.event.pps, report.event_pps_floor, report.speedup, report.speedup_gate
+    );
+}

@@ -35,7 +35,9 @@ use emr_fault::{
     coverage, reach, reach_bits, BlockMap, FaultSet, MccMap, MccType, NodeState, ReachMap,
 };
 use emr_mesh::{Coord, Grid, Mesh};
-use emr_netsim::{NetSim, Packet, WuRouter};
+use emr_netsim::{
+    AdaptiveRouter, EpochedWuRouter, EventSim, NetSim, Packet, Router, Workload, WuRouter, XyRouter,
+};
 use emr_serve::api::{
     AdvanceEpoch, InjectFault, ReachQuery, RegisterMesh, Request, Response, RouteQuery, SafetyQuery,
 };
@@ -148,6 +150,15 @@ pub const ORACLES: &[Oracle] = &[
         claim: "packets with minimal-ensured plans are all delivered in \
                 exactly manhattan(s, d) hops (ground truth: the plan)",
         check: o_netsim_hops,
+    },
+    Oracle {
+        name: "netsim-event-matches-cycle",
+        claim: "the event-driven network core produces bit-identical \
+                reports (delivered, failed, hops, latency, peaks, cycles, \
+                fault accounting) to the cycle-accurate stepper on seeded \
+                workloads, including scheduled mid-flight faults (ground \
+                truth: NetSim)",
+        check: o_event_matches_cycle,
     },
     Oracle {
         name: "state-matches-rebuild",
@@ -889,6 +900,98 @@ fn o_netsim_hops(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
                  manhattan={}",
                 report.total_hops, report.total_manhattan
             ),
+        ));
+    }
+    out
+}
+
+/// Replays one workload through both execution cores and compares the
+/// full run outcome (`Result<SimReport, SimError>`).
+fn event_cycle_compare<R: Router + Clone>(
+    mesh: Mesh,
+    load: &Workload,
+    router: &R,
+    which: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut stepper = NetSim::new(mesh, router.clone());
+    let mut event = EventSim::new(mesh, router.clone());
+    load.inject_into(&mut stepper);
+    load.inject_into(&mut event);
+    let a = stepper.run_to_completion(200_000);
+    let b = event.run_to_completion(200_000);
+    if a != b {
+        out.push(violation(
+            "netsim-event-matches-cycle",
+            format!("{which}: stepper {a:?} != event core {b:?}"),
+        ));
+    }
+}
+
+fn o_event_matches_cycle(spec: &ScenarioSpec, _ctx: &CheckCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = spec.scenario();
+    let mesh = spec.mesh();
+    let open = mesh.nodes().filter(|&c| !sc.blocks().is_blocked(c)).count();
+    if open < 2 {
+        return out; // no legal traffic endpoints
+    }
+
+    // Static replay: raw uniform traffic (failures included) through the
+    // three per-hop routers.
+    let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 97, 0));
+    let load = Workload::uniform_raw(&sc, 40, 3, &mut rng);
+    let view = sc.view(Model::FaultBlock);
+    let boundary = sc.boundary_map(Model::FaultBlock);
+    event_cycle_compare(
+        mesh,
+        &load,
+        &WuRouter::new(&view, &boundary),
+        "wu",
+        &mut out,
+    );
+    event_cycle_compare(
+        mesh,
+        &load,
+        &XyRouter::new(mesh, sc.blocks()),
+        "xy",
+        &mut out,
+    );
+    event_cycle_compare(
+        mesh,
+        &load,
+        &AdaptiveRouter::new(mesh, sc.blocks()),
+        "adaptive",
+        &mut out,
+    );
+
+    // Dynamic replay: epoched Wu absorbing scheduled mid-flight faults.
+    // Both cores see the same fault calendar; everything down to the
+    // drop/reroute accounting must agree.
+    let window = load.packets().last().map_or(0, |(c, _)| *c).max(4);
+    let mut faults = Vec::new();
+    for j in 1..=3u64 {
+        let c = Coord::new(
+            rng.gen_range(0..mesh.width()),
+            rng.gen_range(0..mesh.height()),
+        );
+        faults.push((c, window * j / 4));
+    }
+    let mk = || EpochedWuRouter::new(ScenarioState::new(spec.fault_set()), Model::FaultBlock);
+    let mut stepper = NetSim::new(mesh, mk());
+    let mut event = EventSim::new(mesh, mk());
+    load.inject_into(&mut stepper);
+    load.inject_into(&mut event);
+    for &(c, at) in &faults {
+        stepper.schedule_fault(c, at);
+        event.schedule_fault(c, at);
+    }
+    let a = stepper.run_dynamic_to_completion(200_000);
+    let b = event.run_dynamic_to_completion(200_000);
+    if a != b {
+        out.push(violation(
+            "netsim-event-matches-cycle",
+            format!("epoched-wu dynamic: stepper {a:?} != event core {b:?}"),
         ));
     }
     out

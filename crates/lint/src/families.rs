@@ -27,6 +27,9 @@ const PANIC_ROOTS: &[(&str, &str)] = &[
     ("crates/serve/src/loopback.rs", "send_encoded"),
     ("crates/core/src/state.rs", "decide_local"),
     ("crates/analysis/src/sweep.rs", "run_with"),
+    ("crates/analysis/src/loadsweep.rs", "run"),
+    ("crates/netsim/src/event.rs", "step"),
+    ("crates/netsim/src/event.rs", "step_dynamic"),
 ];
 
 /// A1 totality roots: the per-query read path, where direct indexing

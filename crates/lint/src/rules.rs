@@ -74,6 +74,10 @@ const R3_PATHS: &[&str] = &[
     "crates/netsim/src/sim.rs",
     "crates/netsim/src/dynamic.rs",
     "crates/netsim/src/router.rs",
+    "crates/netsim/src/event.rs",
+    "crates/netsim/src/links.rs",
+    "crates/netsim/src/vc.rs",
+    "crates/netsim/src/adaptive.rs",
 ];
 
 /// The workspace rule table, in report order.

@@ -12,9 +12,20 @@
 //!   boundary information via [`emr_core::route::wu_step`]),
 //!   [`DimensionOrderRouter`] (the classic fault-oblivious XY baseline)
 //!   and [`OracleRouter`] (global information),
-//! * [`Workload`] — generated traffic: each packet carries the waypoint
-//!   legs of its two-phase [`emr_core::RoutePlan`] witness,
-//! * [`NetSim`] — the cycle-driven simulator with delivery statistics,
+//! * [`Workload`] — generated traffic: strategy-4 witness plans, plus
+//!   the saturation patterns ([`TrafficPattern`]: uniform / transpose /
+//!   hotspot) with offered-load injection schedules,
+//! * [`NetSim`] — the cycle-driven stepper: the pinned, cycle-accurate
+//!   ground truth,
+//! * [`EventSim`] — the event-driven core: a BTree-keyed event calendar,
+//!   bit-packed per-direction link occupancy ([`LinkPlanes`]), and
+//!   per-link virtual channels with deterministic round-robin
+//!   allocation ([`VcTable`]); report-identical to [`NetSim`] at one
+//!   virtual channel (the `netsim-event-matches-cycle` oracle), and the
+//!   core that makes million-packet saturation runs finish in seconds,
+//! * [`AdaptiveRouter`] — a Stroobant-style adaptive fault-tolerant
+//!   deadlock-free baseline (escape-channel dimension order + adaptive
+//!   minimal), with [`XyRouter`] as its owned dimension-order sibling,
 //! * [`DynamicRouter`] / [`EpochedWuRouter`] — mid-flight fault
 //!   injection: scheduled node failures land while traffic is in flight,
 //!   the router absorbs them through the incremental epoch machinery of
@@ -48,14 +59,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod dynamic;
+mod event;
+mod links;
 mod packet;
 mod router;
 mod sim;
+mod vc;
 pub mod workload;
 
+pub use adaptive::{AdaptiveRouter, XyRouter};
 pub use dynamic::{DynamicRouter, EpochedWuRouter};
+pub use event::EventSim;
+pub use links::LinkPlanes;
 pub use packet::{Packet, PacketId};
 pub use router::{DimensionOrderRouter, OracleRouter, Router, WuRouter};
-pub use sim::{NetSim, SimError, SimReport};
-pub use workload::Workload;
+pub use sim::{NetSim, PacketSink, SimError, SimReport};
+pub use vc::VcTable;
+pub use workload::{TrafficPattern, Workload};

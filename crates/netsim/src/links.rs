@@ -1,0 +1,147 @@
+//! Bit-packed per-direction link-occupancy planes.
+//!
+//! Each directed mesh link `(u, u.step(dir))` is identified by its source
+//! node and direction, so four [`BitGrid`] planes (one per
+//! [`Direction`]) cover every link in the mesh with one bit each. During
+//! a cycle, routers *mark* the lane of every requested link; the grant
+//! phase then *drains* the planes — walking only the `u64` words that
+//! were dirtied, decoding set bits with `trailing_zeros`, so arbitration
+//! over a whole row segment of links is a handful of word ops and the
+//! per-cycle reset cost is `O(touched words)`, not `O(nodes)`.
+
+use emr_mesh::{BitGrid, Coord, Direction, Mesh};
+
+/// Four bit-planes of requested link lanes, one per direction, with a
+/// dirty-word journal so marking and draining both cost `O(requests)`.
+#[derive(Debug, Clone)]
+pub struct LinkPlanes {
+    planes: [BitGrid; 4],
+    /// Words dirtied this cycle: `(direction index, row, word index)`,
+    /// recorded on first touch only.
+    touched: Vec<(usize, i32, usize)>,
+}
+
+impl LinkPlanes {
+    /// Empty planes over `mesh`.
+    pub fn new(mesh: Mesh) -> LinkPlanes {
+        LinkPlanes {
+            planes: [
+                BitGrid::new(mesh),
+                BitGrid::new(mesh),
+                BitGrid::new(mesh),
+                BitGrid::new(mesh),
+            ],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Marks the lane of link `(from, from.step(dir))` as requested.
+    /// Returns `true` when this is the first request on the lane this
+    /// cycle (the caller then knows a grant decision is pending there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is outside the mesh.
+    pub fn mark(&mut self, dir: Direction, from: Coord) -> bool {
+        let di = dir.index();
+        let wi = from.x as usize / 64;
+        if self.planes[di].word(from.y, wi) == 0 {
+            self.touched.push((di, from.y, wi));
+        }
+        !self.planes[di].test_and_set(from)
+    }
+
+    /// Number of words dirtied so far this cycle.
+    pub fn touched_words(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Drains every requested lane into `lanes` as `(dir, from)` pairs —
+    /// word-at-a-time bit decoding over the dirty-word journal — and
+    /// clears the planes for the next cycle. The order is deterministic:
+    /// journal order (first-touch order), then ascending bit within each
+    /// word.
+    pub fn drain_into(&mut self, lanes: &mut Vec<(Direction, Coord)>) {
+        lanes.clear();
+        for &(di, y, wi) in &self.touched {
+            let dir = Direction::ALL[di];
+            let plane = &mut self.planes[di];
+            let mut word = plane.word(y, wi);
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                // Always in range: `wi*64 + bit < width`, a valid i32 column.
+                let x = i32::try_from(wi * 64 + bit as usize).unwrap_or(i32::MAX);
+                lanes.push((dir, Coord::new(x, y)));
+            }
+            plane.clear_word(y, wi);
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_reports_first_request_per_lane() {
+        let mut planes = LinkPlanes::new(Mesh::new(130, 4));
+        let c = Coord::new(100, 2);
+        assert!(planes.mark(Direction::East, c));
+        assert!(
+            !planes.mark(Direction::East, c),
+            "second request, same lane"
+        );
+        assert!(
+            planes.mark(Direction::West, c),
+            "same node, other direction is a different lane"
+        );
+        assert_eq!(planes.touched_words(), 2);
+    }
+
+    #[test]
+    fn drain_visits_every_lane_once_and_resets() {
+        let mut planes = LinkPlanes::new(Mesh::new(130, 4));
+        let marks = [
+            (Direction::East, Coord::new(0, 0)),
+            (Direction::East, Coord::new(65, 0)),
+            (Direction::North, Coord::new(65, 0)),
+            (Direction::South, Coord::new(3, 3)),
+        ];
+        for (d, c) in marks {
+            planes.mark(d, c);
+            planes.mark(d, c); // duplicates must not double-count
+        }
+        let mut lanes = Vec::new();
+        planes.drain_into(&mut lanes);
+        assert_eq!(lanes.len(), marks.len());
+        for pair in marks {
+            assert!(lanes.contains(&pair), "missing lane {pair:?}");
+        }
+        // Fully reset: the next cycle starts from scratch.
+        assert_eq!(planes.touched_words(), 0);
+        planes.drain_into(&mut lanes);
+        assert!(lanes.is_empty());
+    }
+
+    #[test]
+    fn drain_order_is_deterministic() {
+        let mut a = LinkPlanes::new(Mesh::new(200, 2));
+        let mut b = LinkPlanes::new(Mesh::new(200, 2));
+        let marks = [
+            (Direction::North, Coord::new(199, 1)),
+            (Direction::East, Coord::new(5, 0)),
+            (Direction::East, Coord::new(6, 0)),
+            (Direction::West, Coord::new(64, 1)),
+        ];
+        for (d, c) in marks {
+            a.mark(d, c);
+            b.mark(d, c);
+        }
+        let (mut la, mut lb) = (Vec::new(), Vec::new());
+        a.drain_into(&mut la);
+        b.drain_into(&mut lb);
+        assert_eq!(la, lb);
+    }
+}

@@ -90,6 +90,17 @@ impl SimReport {
     }
 }
 
+/// A destination packets can be scheduled into — implemented by both the
+/// cycle-accurate [`NetSim`] stepper and the event-driven
+/// [`crate::EventSim`] core, so workload generators can drive either.
+pub trait PacketSink {
+    /// Schedules `packet` for injection at `cycle` (clamped to now).
+    ///
+    /// Returns the id assigned to the packet; ids increase monotonically
+    /// in injection-call order.
+    fn inject(&mut self, packet: Packet, cycle: u64) -> PacketId;
+}
+
 /// One packet in flight.
 #[derive(Debug)]
 struct Flight {
@@ -258,6 +269,27 @@ impl<R: Router> NetSim<R> {
         self.report.cycles = self.cycle;
     }
 
+    /// The single run loop both completion drivers share, parameterized
+    /// over the per-cycle step (plain [`NetSim::step`] or the
+    /// fault-absorbing [`NetSim::step_dynamic`]). The loop also waits on
+    /// `pending_faults`, which is always empty for static routers
+    /// (scheduling faults requires [`DynamicRouter`]), so the static
+    /// path is unchanged — pinned by `static_run_is_unchanged_by_dynamic_fields`.
+    fn run_with(&mut self, max_cycles: u64, step: fn(&mut Self)) -> Result<SimReport, SimError> {
+        while !self.flights.is_empty()
+            || !self.pending.is_empty()
+            || !self.pending_faults.is_empty()
+        {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleBudgetExceeded {
+                    in_flight: self.flights.len() + self.pending.len(),
+                });
+            }
+            step(self);
+        }
+        Ok(self.report)
+    }
+
     /// Runs until every packet (scheduled and in flight) is resolved or
     /// the cycle budget is exhausted.
     ///
@@ -266,15 +298,7 @@ impl<R: Router> NetSim<R> {
     /// [`SimError::CycleBudgetExceeded`] if traffic remains after
     /// `max_cycles`.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
-        while !self.flights.is_empty() || !self.pending.is_empty() {
-            if self.cycle >= max_cycles {
-                return Err(SimError::CycleBudgetExceeded {
-                    in_flight: self.flights.len() + self.pending.len(),
-                });
-            }
-            self.step();
-        }
-        Ok(self.report)
+        self.run_with(max_cycles, Self::step)
     }
 
     /// The statistics so far.
@@ -421,18 +445,13 @@ impl<R: DynamicRouter> NetSim<R> {
     /// [`SimError::CycleBudgetExceeded`] if traffic remains after
     /// `max_cycles`.
     pub fn run_dynamic_to_completion(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
-        while !self.flights.is_empty()
-            || !self.pending.is_empty()
-            || !self.pending_faults.is_empty()
-        {
-            if self.cycle >= max_cycles {
-                return Err(SimError::CycleBudgetExceeded {
-                    in_flight: self.flights.len() + self.pending.len(),
-                });
-            }
-            self.step_dynamic();
-        }
-        Ok(self.report)
+        self.run_with(max_cycles, Self::step_dynamic)
+    }
+}
+
+impl<R: Router> PacketSink for NetSim<R> {
+    fn inject(&mut self, packet: Packet, cycle: u64) -> PacketId {
+        NetSim::inject(self, packet, cycle)
     }
 }
 
